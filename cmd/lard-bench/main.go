@@ -1,0 +1,107 @@
+// Command lard-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lard-bench [-fig all|1|6|7|8|9|10|lru|oracle|headline] [-cores 64|16]
+//	           [-scale 1.0] [-seed 0] [-breakdown BENCH]
+//
+// Each figure prints an aligned text table; EXPERIMENTS.md records the
+// paper-vs-measured comparison produced by this tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lard/internal/harness"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "which figure to regenerate: all,1,6,7,8,9,10,lru,revict,oracle,headline")
+		cores     = flag.Int("cores", 64, "core count (64 = Table 1, 16 = scaled down)")
+		scale     = flag.Float64("scale", 1.0, "per-core operation count scale")
+		seed      = flag.Uint64("seed", 0, "workload seed")
+		breakdown = flag.String("breakdown", "", "also print per-component stacks for this benchmark")
+		par       = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+		benchList = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+	)
+	flag.Parse()
+	base := harness.Base{Cores: *cores, OpsScale: *scale, Seed: *seed, Parallelism: *par}
+	if *benchList != "" {
+		base.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	start := time.Now()
+
+	var mainMatrix *harness.Matrix
+	needMatrix := want("6") || want("7") || want("8") || want("headline")
+	if needMatrix {
+		m, err := harness.RunMatrix(base, harness.StandardVariants())
+		fatal(err)
+		mainMatrix = m
+	}
+
+	if want("1") {
+		table, _, err := harness.Fig1RunLengths(base)
+		fatal(err)
+		fmt.Println(table)
+	}
+	if want("6") {
+		table, _ := harness.Fig6Energy(mainMatrix)
+		fmt.Println(table)
+		if *breakdown != "" {
+			fmt.Println(harness.EnergyBreakdownTable(mainMatrix, *breakdown))
+		}
+	}
+	if want("7") {
+		table, _ := harness.Fig7Time(mainMatrix)
+		fmt.Println(table)
+		if *breakdown != "" {
+			fmt.Println(harness.TimeBreakdownTable(mainMatrix, *breakdown))
+		}
+	}
+	if want("8") {
+		fmt.Println(harness.Fig8MissTypes(mainMatrix))
+	}
+	if want("headline") {
+		fmt.Println(harness.Headline(mainMatrix))
+	}
+	if want("9") {
+		table, _, err := harness.Fig9LimitedK(base)
+		fatal(err)
+		fmt.Println(table)
+	}
+	if want("10") {
+		table, _, err := harness.Fig10ClusterSize(base)
+		fatal(err)
+		fmt.Println(table)
+	}
+	if want("lru") {
+		table, _, err := harness.ReplacementAblation(base)
+		fatal(err)
+		fmt.Println(table)
+	}
+	if want("revict") {
+		table, _, err := harness.ReplicaEvictAblation(base)
+		fatal(err)
+		fmt.Println(table)
+	}
+	if want("oracle") {
+		table, _, err := harness.OracleAblation(base)
+		fatal(err)
+		fmt.Println(table)
+	}
+	fmt.Fprintf(os.Stderr, "lard-bench: done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lard-bench:", err)
+		os.Exit(1)
+	}
+}

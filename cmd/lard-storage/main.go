@@ -1,0 +1,49 @@
+// Command lard-storage reproduces the storage-overhead arithmetic of §2.4.1:
+// the bits the locality-aware protocol adds to each LLC directory entry and
+// the resulting per-slice costs, compared with the baseline ACKwise and
+// full-map directories.
+//
+// Usage:
+//
+//	lard-storage [-cores 64] [-rt 3] [-slicekb 256] [-ackwise 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"lard/internal/core"
+	"lard/internal/mem"
+)
+
+func main() {
+	var (
+		cores   = flag.Int("cores", 64, "core count")
+		rt      = flag.Int("rt", 3, "replication threshold")
+		sliceKB = flag.Int("slicekb", 256, "LLC slice size in KB")
+		ackwise = flag.Int("ackwise", 4, "ACKwise pointer count")
+	)
+	flag.Parse()
+
+	lines := *sliceKB * 1024 / mem.LineBytes
+	for _, k := range []int{3, 0} {
+		m := core.StorageModel{
+			Cores: *cores, RT: *rt, K: k,
+			SliceLines: lines, AckwisePointers: *ackwise,
+		}
+		name := "Complete"
+		if k > 0 {
+			name = fmt.Sprintf("Limited-%d", k)
+		}
+		fmt.Printf("%s classifier (%d cores, RT=%d, %d KB slices, ACKwise-%d):\n",
+			name, *cores, *rt, *sliceKB, *ackwise)
+		fmt.Printf("  classifier bits per entry:   %d\n", m.ClassifierBitsPerEntry())
+		fmt.Printf("  replica-reuse bits per entry: %d\n", m.ReplicaReuseBitsPerEntry())
+		fmt.Printf("  replica-reuse storage:       %.1f KB per slice\n", m.ReplicaReuseKB())
+		fmt.Printf("  classifier storage:          %.1f KB per slice\n", m.ClassifierKB())
+		fmt.Printf("  protocol overhead:           %.1f KB per slice\n", m.ProtocolOverheadKB())
+		fmt.Printf("  ACKwise-%d directory:         %.1f KB per slice\n", *ackwise, m.AckwiseKB())
+		fmt.Printf("  full-map directory:          %.1f KB per slice\n", m.FullMapKB())
+		fmt.Printf("  overhead vs baseline caches: %.1f%%\n\n", m.OverheadPercent())
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: run one benchmark under the paper's locality-aware replication
+// protocol and a baseline, and compare completion time and energy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lard"
+)
+
+func main() {
+	// A scaled-down 16-core machine keeps the example fast; drop Cores for
+	// the full Table-1 configuration.
+	opts := lard.Options{Cores: 16, OpsScale: 0.25}
+
+	baseline, err := lard.Run("BARNES", lard.SNUCA(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt3, err := lard.Run("BARNES", lard.LocalityAware(3), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("BARNES: shared read-write data with run-length >= 10 (paper Fig. 1)")
+	fmt.Printf("%-8s  %12s  %12s  %14s\n", "scheme", "cycles", "energy (uJ)", "replica hits")
+	for _, r := range []*lard.Result{baseline, rt3} {
+		fmt.Printf("%-8s  %12d  %12.1f  %14d\n",
+			r.Scheme, r.CompletionCycles, r.EnergyTotalPJ()/1e6, r.Misses["LLC-Replica-Hit"])
+	}
+	fmt.Printf("\nRT-3 vs S-NUCA: %.0f%% faster, %.0f%% less energy\n",
+		100*(1-float64(rt3.CompletionCycles)/float64(baseline.CompletionCycles)),
+		100*(1-rt3.EnergyTotalPJ()/baseline.EnergyTotalPJ()))
+}

@@ -1,0 +1,38 @@
+// rtsweep reproduces the §4.1 replication-threshold discussion: sweeping RT
+// trades on-chip locality against LLC pollution and off-chip misses.
+// FLUIDANIMATE (streaming, LLC-exceeding working set) wants a high
+// threshold; STREAMCLUSTER (reused shared data) is hurt by RT-8's delayed
+// replica creation; RT-3 is the paper's sweet spot.
+//
+//	go run ./examples/rtsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lard"
+)
+
+func main() {
+	opts := lard.Options{Cores: 16, OpsScale: 0.5}
+	for _, bench := range []string{"FLUIDANIM.", "STREAMCLUS."} {
+		base, err := lard.Run(bench, lard.SNUCA(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (normalized to S-NUCA)\n", bench)
+		fmt.Printf("  %-5s  %8s  %8s  %10s\n", "RT", "time", "energy", "off-chip")
+		for _, rt := range []int{1, 2, 3, 5, 8} {
+			r, err := lard.Run(bench, lard.LocalityAware(rt), opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  RT-%-2d  %8.3f  %8.3f  %10d\n", rt,
+				float64(r.CompletionCycles)/float64(base.CompletionCycles),
+				r.EnergyTotalPJ()/base.EnergyTotalPJ(),
+				r.Misses["OffChip-Miss"])
+		}
+		fmt.Println()
+	}
+}

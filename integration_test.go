@@ -1,0 +1,123 @@
+package lard_test
+
+import (
+	"testing"
+
+	"lard"
+	"lard/internal/harness"
+)
+
+// TestPaperOrderings asserts the qualitative per-benchmark results of §4.1
+// on the scaled-down machine at steady-state trace length. Each assertion
+// cites the paper claim it pins. Skipped under -short (about a minute).
+func TestPaperOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration orderings take ~1 minute")
+	}
+	base := harness.Base{Cores: 16, OpsScale: 1, Benchmarks: []string{
+		"BARNES", "DEDUP", "FLUIDANIM.", "BLACKSCH.", "LU-NC", "STREAMCLUS.", "OCEAN-C", "PATRICIA",
+	}}
+	m, err := harness.RunMatrix(base, harness.StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := func(bench, scheme string) float64 { return m.Get(bench, scheme).EnergyTotal() }
+	time := func(bench, scheme string) float64 { return float64(m.Get(bench, scheme).CompletionTime) }
+
+	// BARNES: high-run-length shared read-write data. "S-NUCA, R-NUCA and
+	// ASR do not replicate shared read-write data and hence do not observe
+	// any benefits"; the locality-aware schemes and VR do.
+	if !(time("BARNES", "RT-3") < time("BARNES", "R-NUCA")) {
+		t.Error("BARNES: RT-3 must beat R-NUCA in time")
+	}
+	if !(time("BARNES", "RT-3") < time("BARNES", "ASR")) {
+		t.Error("BARNES: RT-3 must beat ASR in time")
+	}
+	if !(energy("BARNES", "RT-3") < energy("BARNES", "VR")) {
+		t.Error("BARNES: VR pays extra LLC energy relative to RT-3 (§4.1)")
+	}
+
+	// DEDUP: "almost exclusively accesses private data and hence performs
+	// optimally with R-NUCA" — RT tracks R-NUCA within a few percent.
+	if r := energy("DEDUP", "RT-3") / energy("DEDUP", "R-NUCA"); r > 1.05 {
+		t.Errorf("DEDUP: RT-3 must track R-NUCA energy, ratio %.3f", r)
+	}
+
+	// FLUIDANIMATE: streaming working set beyond the LLC; "an RT of 3
+	// dominates an RT of 1" because indiscriminate replication raises the
+	// off-chip miss rate.
+	if !(energy("FLUIDANIM.", "RT-3") <= energy("FLUIDANIM.", "RT-1")) {
+		t.Error("FLUIDANIMATE: RT-3 must not lose to RT-1 in energy (§4.1)")
+	}
+
+	// STREAMCLUSTER: "with an RT of 8 ... increased completion time and
+	// network energy caused by repeated fetches over the network".
+	if !(time("STREAMCLUS.", "RT-3") < time("STREAMCLUS.", "RT-8")) {
+		t.Error("STREAMCLUSTER: RT-8 must be slower than RT-3 (§4.1)")
+	}
+
+	// BLACKSCHOLES: page-level false sharing defeats R-NUCA's page-grain
+	// classification; line-grain replication recovers the locality.
+	if !(time("BLACKSCH.", "RT-3") < time("BLACKSCH.", "R-NUCA")) {
+		t.Error("BLACKSCHOLES: RT-3 must beat R-NUCA (false sharing, §4.1)")
+	}
+
+	// LU-NC: migratory shared data. "Since ASR does not replicate shared
+	// read-write data, it cannot show benefit."
+	if !(time("LU-NC", "RT-3") < time("LU-NC", "ASR")) {
+		t.Error("LU-NC: RT-3 must beat ASR (migratory data, §4.1)")
+	}
+	rtLUNC := m.Get("LU-NC", "RT-3")
+	if rtLUNC.Miss[1] == 0 { // LLCReplicaHit
+		t.Error("LU-NC: migratory replication must produce replica hits")
+	}
+
+	// OCEAN-C: no replication benefit; RT-3 must not regress versus R-NUCA
+	// by more than a few percent.
+	if r := energy("OCEAN-C", "RT-3") / energy("OCEAN-C", "R-NUCA"); r > 1.05 {
+		t.Errorf("OCEAN-C: RT-3/R-NUCA energy = %.3f, want about 1", r)
+	}
+
+	// PATRICIA: reused shared read-only data — replication wins.
+	if !(energy("PATRICIA", "RT-3") < energy("PATRICIA", "S-NUCA")) {
+		t.Error("PATRICIA: RT-3 must beat S-NUCA in energy")
+	}
+
+	// Headline direction (§4.1): averaged over this subset, RT-3 reduces
+	// both energy and time versus every baseline.
+	for _, bl := range []string{"VR", "ASR", "R-NUCA", "S-NUCA"} {
+		var esum, tsum float64
+		for _, bench := range base.Benchmarks {
+			esum += 1 - energy(bench, "RT-3")/energy(bench, bl)
+			tsum += 1 - time(bench, "RT-3")/time(bench, bl)
+		}
+		if esum <= 0 {
+			t.Errorf("headline: RT-3 must reduce average energy vs %s", bl)
+		}
+		if tsum <= 0 {
+			t.Errorf("headline: RT-3 must reduce average time vs %s", bl)
+		}
+	}
+}
+
+// TestFig1BarnesSignature pins the motivation data: BARNES's LLC accesses
+// are dominated by shared read-write data at run-length >= 10 (Figure 1
+// reports over 90%).
+func TestFig1BarnesSignature(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	res, err := lard.Run("BARNES", lard.SNUCA(),
+		lard.Options{Cores: 16, OpsScale: 1, TrackRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := res.RunLengthShares["shared-rw [>=10]"]
+	if share < 0.5 {
+		t.Errorf("BARNES shared-rw run>=10 share = %.2f, want dominant (paper: >0.9)", share)
+	}
+	low := res.RunLengthShares["shared-rw [1-2]"]
+	if low > share {
+		t.Error("BARNES must be reuse-dominated, not streaming")
+	}
+}

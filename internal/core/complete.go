@@ -1,0 +1,98 @@
+package core
+
+import "lard/internal/mem"
+
+// complete is the Complete locality classifier (Figure 4): per-core
+// replication mode bits and home-reuse counters for every core in the
+// system. It is exact but costs 3n bits per directory entry (§2.4.1), which
+// the Limited-k classifier approximates.
+type complete struct {
+	rt    int
+	modes bitset
+	reuse []uint8
+}
+
+func newComplete(p Params) *complete {
+	return &complete{
+		rt:    p.RT,
+		modes: newBitset(p.Cores),
+		reuse: make([]uint8, p.Cores),
+	}
+}
+
+// OnReadHome implements Classifier.
+func (k *complete) OnReadHome(c mem.CoreID) bool {
+	if k.modes.get(int(c)) {
+		return true
+	}
+	k.reuse[c] = satIncr(k.reuse[c], k.rt)
+	if int(k.reuse[c]) >= k.rt {
+		k.modes.set(int(c), true)
+		return true
+	}
+	return false
+}
+
+// OnWriteHome implements Classifier.
+func (k *complete) OnWriteHome(c mem.CoreID, soleSharer bool) bool {
+	if k.modes.get(int(c)) {
+		return true
+	}
+	// §2.2.2: a sole sharer accumulates reuse across its own writes
+	// (migratory data); otherwise the conflicting write restarts the count
+	// at 1 (this write is the first access of the new round).
+	if soleSharer {
+		k.reuse[c] = satIncr(k.reuse[c], k.rt)
+	} else {
+		k.reuse[c] = 1
+	}
+	if int(k.reuse[c]) >= k.rt {
+		k.modes.set(int(c), true)
+		return true
+	}
+	return false
+}
+
+// OnOthersReset implements Classifier.
+func (k *complete) OnOthersReset(writer mem.CoreID) {
+	for c := range k.reuse {
+		if c != int(writer) && !k.modes.get(c) {
+			k.reuse[c] = 0
+		}
+	}
+}
+
+// OnReplicaGone implements Classifier.
+func (k *complete) OnReplicaGone(c mem.CoreID, replicaReuse uint8, invalidation bool) {
+	x := int(replicaReuse)
+	if invalidation {
+		// §2.2.3: on invalidation the total reuse between successive writes
+		// is replica reuse plus home reuse.
+		x += int(k.reuse[c])
+	}
+	if x < k.rt {
+		k.modes.set(int(c), false)
+	}
+	k.reuse[c] = 0
+}
+
+// ModeOf implements Classifier.
+func (k *complete) ModeOf(c mem.CoreID) bool { return k.modes.get(int(c)) }
+
+// Tracked implements Classifier: the Complete classifier tracks every core.
+func (k *complete) Tracked(mem.CoreID) bool { return true }
+
+// bitset is a fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) set(i int, v bool) {
+	if v {
+		b[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import "lard/internal/mem"
+
+// limEntry is one slot of the limited locality list (Figure 5): core ID,
+// replication mode bit and home-reuse counter, plus the active flag used for
+// replacement (§2.2.5).
+type limEntry struct {
+	core   mem.CoreID
+	mode   bool
+	reuse  uint8
+	active bool
+	valid  bool
+}
+
+// limited is the Limited-k locality classifier (§2.2.5). It keeps locality
+// information for at most k cores; other cores are classified by a majority
+// vote of the modes of the tracked cores.
+type limited struct {
+	rt      int
+	entries []limEntry
+}
+
+func newLimited(p Params) *limited {
+	return &limited{rt: p.RT, entries: make([]limEntry, p.K)}
+}
+
+// find returns the entry tracking c, or nil.
+func (k *limited) find(c mem.CoreID) *limEntry {
+	for i := range k.entries {
+		if k.entries[i].valid && k.entries[i].core == c {
+			return &k.entries[i]
+		}
+	}
+	return nil
+}
+
+// majority returns the majority vote of the modes of the tracked cores;
+// ties (including an empty list) resolve to non-replica, the Initial mode of
+// Figure 3.
+func (k *limited) majority() bool {
+	replica, valid := 0, 0
+	for i := range k.entries {
+		if k.entries[i].valid {
+			valid++
+			if k.entries[i].mode {
+				replica++
+			}
+		}
+	}
+	return replica*2 > valid
+}
+
+// acquire returns the entry for c, allocating one if possible:
+//  1. an existing entry for c,
+//  2. a free (invalid) entry, started in the Initial mode,
+//  3. replacement of an inactive sharer, started in the majority-vote mode
+//     (the requester's "most probable mode", §2.2.5).
+//
+// If no replacement candidate exists it returns nil and the caller falls
+// back to the majority vote without modifying the list.
+func (k *limited) acquire(c mem.CoreID) *limEntry {
+	if e := k.find(c); e != nil {
+		e.active = true
+		return e
+	}
+	for i := range k.entries {
+		if !k.entries[i].valid {
+			k.entries[i] = limEntry{core: c, active: true, valid: true}
+			return &k.entries[i]
+		}
+	}
+	for i := range k.entries {
+		if !k.entries[i].active {
+			k.entries[i] = limEntry{core: c, mode: k.majority(), active: true, valid: true}
+			return &k.entries[i]
+		}
+	}
+	return nil
+}
+
+// OnReadHome implements Classifier.
+func (k *limited) OnReadHome(c mem.CoreID) bool {
+	e := k.acquire(c)
+	if e == nil {
+		// Untracked: classify by majority vote; no reuse can be accumulated,
+		// so a non-replica vote can never be promoted (this is the
+		// STREAMCLUSTER pathology discussed in §4.3).
+		return k.majority()
+	}
+	if e.mode {
+		return true
+	}
+	e.reuse = satIncr(e.reuse, k.rt)
+	if int(e.reuse) >= k.rt {
+		e.mode = true
+		return true
+	}
+	return false
+}
+
+// OnWriteHome implements Classifier.
+func (k *limited) OnWriteHome(c mem.CoreID, soleSharer bool) bool {
+	e := k.acquire(c)
+	if e == nil {
+		return k.majority()
+	}
+	if e.mode {
+		return true
+	}
+	if soleSharer {
+		e.reuse = satIncr(e.reuse, k.rt)
+	} else {
+		e.reuse = 1
+	}
+	if int(e.reuse) >= k.rt {
+		e.mode = true
+		return true
+	}
+	return false
+}
+
+// OnOthersReset implements Classifier.
+func (k *limited) OnOthersReset(writer mem.CoreID) {
+	for i := range k.entries {
+		e := &k.entries[i]
+		if e.valid && e.core != writer && !e.mode {
+			e.reuse = 0
+			e.active = false
+		}
+	}
+}
+
+// OnReplicaGone implements Classifier.
+func (k *limited) OnReplicaGone(c mem.CoreID, replicaReuse uint8, invalidation bool) {
+	e := k.find(c)
+	if e == nil {
+		return // untracked replicas carry no classifier state
+	}
+	x := int(replicaReuse)
+	if invalidation {
+		x += int(e.reuse)
+	}
+	if x < k.rt {
+		e.mode = false
+	}
+	e.reuse = 0
+	e.active = false
+}
+
+// ModeOf implements Classifier.
+func (k *limited) ModeOf(c mem.CoreID) bool {
+	if e := k.find(c); e != nil {
+		return e.mode
+	}
+	return k.majority()
+}
+
+// Tracked implements Classifier.
+func (k *limited) Tracked(c mem.CoreID) bool { return k.find(c) != nil }

@@ -1,0 +1,91 @@
+package core
+
+import "math/bits"
+
+// StorageModel reproduces the storage-overhead arithmetic of §2.4.1: the
+// extra bits the locality-aware protocol adds to each LLC directory entry and
+// the resulting per-slice overheads, compared against the baseline ACKwise-p
+// and full-map directories.
+type StorageModel struct {
+	// Cores is the number of cores (64 in the paper).
+	Cores int
+	// RT is the replication threshold; the reuse counters saturate at RT.
+	RT int
+	// K is the Limited-k parameter (0 = Complete).
+	K int
+	// SliceLines is the number of lines of one LLC slice (4096 in Table 1).
+	SliceLines int
+	// AckwisePointers is p of the baseline ACKwise-p directory.
+	AckwisePointers int
+}
+
+// coreIDBits returns the bits of one core pointer (log2 of cores).
+func (m StorageModel) coreIDBits() int { return bits.Len(uint(m.Cores - 1)) }
+
+// ReuseCounterBits returns the width of one reuse counter: enough to count to
+// RT (2 bits for the optimal RT of 3, §2.4.1).
+func (m StorageModel) ReuseCounterBits() int { return bits.Len(uint(m.RT)) }
+
+// ReplicaReuseBitsPerEntry returns the bits added to every LLC tag entry for
+// the replica-reuse counter.
+func (m StorageModel) ReplicaReuseBitsPerEntry() int { return m.ReuseCounterBits() }
+
+// ClassifierBitsPerEntry returns the bits the classifier adds to one
+// directory entry: per tracked core a mode bit and a home-reuse counter, plus
+// a core ID for the Limited-k variant (the Complete variant is indexed by
+// core and needs no IDs).
+func (m StorageModel) ClassifierBitsPerEntry() int {
+	per := 1 + m.ReuseCounterBits()
+	if m.K == 0 {
+		return m.Cores * per
+	}
+	return m.K * (per + m.coreIDBits())
+}
+
+// AckwiseBitsPerEntry returns the sharer-tracking bits of the baseline
+// ACKwise-p entry (p core pointers).
+func (m StorageModel) AckwiseBitsPerEntry() int { return m.AckwisePointers * m.coreIDBits() }
+
+// FullMapBitsPerEntry returns the sharer-tracking bits of a full-map entry.
+func (m StorageModel) FullMapBitsPerEntry() int { return m.Cores }
+
+// kb converts per-entry bits to per-slice kilobytes.
+func (m StorageModel) kb(bitsPerEntry int) float64 {
+	return float64(bitsPerEntry*m.SliceLines) / 8 / 1024
+}
+
+// ReplicaReuseKB returns the per-slice storage of the replica-reuse counters
+// (1 KB in the paper's configuration).
+func (m StorageModel) ReplicaReuseKB() float64 { return m.kb(m.ReplicaReuseBitsPerEntry()) }
+
+// ClassifierKB returns the per-slice storage of the locality classifier
+// (13.5 KB for Limited-3, 96 KB for Complete in the paper's configuration).
+func (m StorageModel) ClassifierKB() float64 { return m.kb(m.ClassifierBitsPerEntry()) }
+
+// AckwiseKB returns the per-slice storage of the baseline ACKwise-p sharer
+// pointers (12 KB in the paper's configuration).
+func (m StorageModel) AckwiseKB() float64 { return m.kb(m.AckwiseBitsPerEntry()) }
+
+// FullMapKB returns the per-slice storage of a full-map sharer vector
+// (32 KB in the paper's configuration).
+func (m StorageModel) FullMapKB() float64 { return m.kb(m.FullMapBitsPerEntry()) }
+
+// ProtocolOverheadKB returns the total per-slice storage the locality-aware
+// protocol adds on top of the baseline directory: replica-reuse counters plus
+// the classifier (14.5 KB per 256 KB slice for Limited-3, as stated in the
+// paper's conclusion).
+func (m StorageModel) ProtocolOverheadKB() float64 {
+	return m.ReplicaReuseKB() + m.ClassifierKB()
+}
+
+// BaselineCacheKB is the per-core data storage the percentages of §2.4.1 are
+// quoted against: L1-I + L1-D + LLC slice data arrays.
+const BaselineCacheKB = 16 + 32 + 256
+
+// OverheadPercent returns the protocol's storage overhead relative to the
+// baseline caches plus ACKwise directory (≈4.5% for Limited-3, ≈30% for
+// Complete in the paper's configuration).
+func (m StorageModel) OverheadPercent() float64 {
+	base := BaselineCacheKB + m.AckwiseKB()
+	return 100 * m.ProtocolOverheadKB() / base
+}

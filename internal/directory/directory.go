@@ -1,0 +1,215 @@
+// Package directory implements the sharer-tracking structures of the
+// coherence protocol: the ACKwise-p limited directory of the baseline system
+// (hardware pointers that degrade to a broadcast-with-known-count on
+// overflow) and a full-map option. Directory entries live inside the LLC tag
+// array of the home slice ("in-cache" organization, §2.1); eviction of the
+// home line therefore destroys the entry, which the engine handles by
+// invalidating every cached copy (inclusive LLC).
+//
+// The locality classifier of the paper is deliberately NOT part of this
+// package: the paper stresses that reuse tracking is decoupled from sharer
+// tracking (§2.2.5). Entries carry an opaque classifier reference owned by
+// internal/core.
+package directory
+
+import "lard/internal/mem"
+
+// SharerSet tracks the cores whose local cache hierarchy (L1 caches plus, in
+// replication schemes, the local LLC slice) may hold a copy of a line.
+//
+// With p > 0 pointers the set is precise until more than p cores share the
+// line; after that it switches to broadcast mode and tracks only the count,
+// exactly like ACKwise-p: invalidations are broadcast to every core, and the
+// known count tells the home how many acknowledgements to expect. p == 0
+// selects a full-map directory (always precise).
+type SharerSet struct {
+	p        int
+	ptrs     []mem.CoreID
+	overflow bool
+	count    int
+	full     map[mem.CoreID]struct{} // used when overflow (to keep the
+	// simulator functionally precise; timing/energy still pay broadcast)
+}
+
+// NewSharerSet returns a sharer set with p ACKwise pointers, or a full-map
+// set when p == 0.
+func NewSharerSet(p int) SharerSet {
+	return SharerSet{p: p}
+}
+
+// Pointers returns p (0 for full-map).
+func (s *SharerSet) Pointers() int { return s.p }
+
+// Count returns the number of sharers.
+func (s *SharerSet) Count() int { return s.count }
+
+// Overflowed reports whether the set is in broadcast mode.
+func (s *SharerSet) Overflowed() bool { return s.overflow }
+
+// Has reports whether core c is a sharer. In broadcast mode the simulator
+// still answers precisely (see the full map) so functional behaviour is
+// exact; hardware would conservatively probe everyone, which is what the
+// timing model charges.
+func (s *SharerSet) Has(c mem.CoreID) bool {
+	if s.overflow {
+		_, ok := s.full[c]
+		return ok
+	}
+	for _, p := range s.ptrs {
+		if p == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts core c. Adding a present core is a no-op.
+func (s *SharerSet) Add(c mem.CoreID) {
+	if s.Has(c) {
+		return
+	}
+	if s.overflow {
+		s.full[c] = struct{}{}
+		s.count++
+		return
+	}
+	if s.p == 0 || len(s.ptrs) < s.p {
+		s.ptrs = append(s.ptrs, c)
+		s.count++
+		return
+	}
+	// Pointer overflow: switch to broadcast mode, preserving membership in
+	// the precise shadow map.
+	s.overflow = true
+	s.full = make(map[mem.CoreID]struct{}, s.count+1)
+	for _, p := range s.ptrs {
+		s.full[p] = struct{}{}
+	}
+	s.ptrs = s.ptrs[:0]
+	s.full[c] = struct{}{}
+	s.count++
+}
+
+// Remove deletes core c if present. When a broadcast-mode set drains to at
+// most p sharers it stays in broadcast mode (hardware cannot recover the
+// identities); the simulator keeps the precise shadow map for functional
+// behaviour only.
+func (s *SharerSet) Remove(c mem.CoreID) {
+	if s.overflow {
+		if _, ok := s.full[c]; ok {
+			delete(s.full, c)
+			s.count--
+		}
+		return
+	}
+	for i, p := range s.ptrs {
+		if p == c {
+			s.ptrs[i] = s.ptrs[len(s.ptrs)-1]
+			s.ptrs = s.ptrs[:len(s.ptrs)-1]
+			s.count--
+			return
+		}
+	}
+}
+
+// ForEach calls fn for every sharer, in unspecified order.
+func (s *SharerSet) ForEach(fn func(c mem.CoreID)) {
+	if s.overflow {
+		for c := range s.full {
+			fn(c)
+		}
+		return
+	}
+	for _, c := range s.ptrs {
+		fn(c)
+	}
+}
+
+// Sharers returns the sharers as a fresh slice sorted ascending (the sort
+// keeps the simulator deterministic when iterating broadcast-mode maps).
+func (s *SharerSet) Sharers() []mem.CoreID {
+	out := make([]mem.CoreID, 0, s.count)
+	s.ForEach(func(c mem.CoreID) { out = append(out, c) })
+	for i := 1; i < len(out); i++ { // insertion sort; sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Clear empties the set.
+func (s *SharerSet) Clear() {
+	s.ptrs = s.ptrs[:0]
+	s.overflow = false
+	s.count = 0
+	s.full = nil
+}
+
+// Entry is the directory state attached to a home LLC line.
+type Entry struct {
+	// Sharers tracks cores with copies (L1 and/or local LLC replica).
+	Sharers SharerSet
+	// Owner is the core holding the line in E or M state; valid when
+	// HasOwner. The owner is also a member of Sharers.
+	Owner    mem.CoreID
+	HasOwner bool
+	// ReplicaSlices tracks, for cluster-level replication (§2.3.4), the LLC
+	// slices (other than L1 sharers' own) currently holding a replica. For
+	// cluster size 1 the replica slice equals the requesting core and is
+	// covered by Sharers; this set stays empty.
+	ReplicaSlices []mem.CoreID
+	// Classifier is the opaque per-line locality classifier state owned by
+	// internal/core; nil for schemes that do not classify.
+	Classifier any
+	// Version counts writes serialized at this home. Every valid copy of the
+	// line records the version it read; the single-writer-multiple-reader
+	// invariant implies a valid copy always matches the home version. The
+	// simulator checks this on every read (see DESIGN.md §2).
+	Version uint64
+}
+
+// NewEntry returns an entry with an ACKwise-p sharer set.
+func NewEntry(p int) *Entry {
+	return &Entry{Sharers: NewSharerSet(p)}
+}
+
+// SetOwner records c as the E/M owner.
+func (e *Entry) SetOwner(c mem.CoreID) {
+	e.Owner = c
+	e.HasOwner = true
+}
+
+// ClearOwner removes owner status.
+func (e *Entry) ClearOwner() { e.HasOwner = false }
+
+// AddReplicaSlice records slice s as holding a cluster replica.
+func (e *Entry) AddReplicaSlice(s mem.CoreID) {
+	for _, r := range e.ReplicaSlices {
+		if r == s {
+			return
+		}
+	}
+	e.ReplicaSlices = append(e.ReplicaSlices, s)
+}
+
+// RemoveReplicaSlice removes slice s from the cluster-replica set.
+func (e *Entry) RemoveReplicaSlice(s mem.CoreID) {
+	for i, r := range e.ReplicaSlices {
+		if r == s {
+			e.ReplicaSlices[i] = e.ReplicaSlices[len(e.ReplicaSlices)-1]
+			e.ReplicaSlices = e.ReplicaSlices[:len(e.ReplicaSlices)-1]
+			return
+		}
+	}
+}
+
+// HasReplicaSlice reports whether slice s holds a cluster replica.
+func (e *Entry) HasReplicaSlice(s mem.CoreID) bool {
+	for _, r := range e.ReplicaSlices {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package dram
+
+import (
+	"testing"
+
+	"lard/internal/energy"
+	"lard/internal/mem"
+)
+
+func newTestDRAM(meter *energy.Meter) *Subsystem {
+	return New(8, 64, 75, 13, meter, 6000)
+}
+
+func TestControllerCount(t *testing.T) {
+	if got := newTestDRAM(nil).Controllers(); got != 8 {
+		t.Fatalf("Controllers = %d, want 8", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range []struct{ n, cores int }{{0, 64}, {65, 64}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) must panic", c.n, c.cores)
+				}
+			}()
+			New(c.n, c.cores, 75, 13, nil, 0)
+		}()
+	}
+}
+
+// TestPlacementSpread: controllers must not cluster in one mesh column (the
+// paper's system attaches them at chip edges); at least half the columns of
+// the 8x8 mesh must host one.
+func TestPlacementSpread(t *testing.T) {
+	d := newTestDRAM(nil)
+	cols := map[int]bool{}
+	for i := 0; i < d.Controllers(); i++ {
+		tile := int(d.TileOf(i))
+		cols[tile%8] = true
+		if row := tile / 8; row != 0 && row != 7 {
+			t.Errorf("controller %d at tile %d is not on a top/bottom edge row", i, tile)
+		}
+	}
+	if len(cols) < 4 {
+		t.Fatalf("controllers occupy only %d mesh columns", len(cols))
+	}
+}
+
+func TestInterleaving(t *testing.T) {
+	d := newTestDRAM(nil)
+	if d.ControllerFor(0) == d.ControllerFor(1) {
+		t.Error("adjacent lines must interleave across controllers")
+	}
+	if d.ControllerFor(3) != d.ControllerFor(11) {
+		t.Error("lines 8 apart must map to the same of 8 controllers")
+	}
+}
+
+func TestAccessLatency(t *testing.T) {
+	d := newTestDRAM(nil)
+	// Idle controller: occupancy 13 + latency 75.
+	if got := d.Access(0, 100); got != 100+13+75 {
+		t.Fatalf("idle access done at %d, want %d", got, 188)
+	}
+}
+
+// TestBandwidthQueueing: back-to-back requests to one controller serialize
+// on the 13-cycle occupancy, modelling the 5 GB/s bandwidth.
+func TestBandwidthQueueing(t *testing.T) {
+	d := newTestDRAM(nil)
+	first := d.Access(0, 0)
+	second := d.Access(0, 0)
+	third := d.Access(0, 0)
+	if first != 88 || second != 88+13 || third != 88+26 {
+		t.Fatalf("pipelined accesses done at %d,%d,%d; want 88,101,114", first, second, third)
+	}
+	if got := d.QueuedCycles(); got != 13+26 {
+		t.Fatalf("QueuedCycles = %d, want 39", got)
+	}
+}
+
+func TestControllersIndependent(t *testing.T) {
+	d := newTestDRAM(nil)
+	d.Access(0, 0)
+	if got := d.Access(1, 0); got != 88 {
+		t.Fatalf("different controller must be idle: done at %d, want 88", got)
+	}
+}
+
+func TestIdleGapNoQueueing(t *testing.T) {
+	d := newTestDRAM(nil)
+	d.Access(0, 0)
+	if got := d.Access(0, 1000); got != 1088 {
+		t.Fatalf("post-idle access done at %d, want 1088", got)
+	}
+	if d.QueuedCycles() != 0 {
+		t.Fatal("no queueing expected across an idle gap")
+	}
+}
+
+func TestEnergyAndCounting(t *testing.T) {
+	var meter energy.Meter
+	d := newTestDRAM(&meter)
+	d.Access(0, 0)
+	d.Access(3, 0)
+	if d.Accesses() != 2 {
+		t.Fatalf("Accesses = %d, want 2", d.Accesses())
+	}
+	if meter.Count(energy.DRAM) != 2 || meter.PJ(energy.DRAM) != 12000 {
+		t.Fatalf("DRAM energy: %v pJ over %d events", meter.PJ(energy.DRAM), meter.Count(energy.DRAM))
+	}
+}
+
+func TestSmallConfigPlacement(t *testing.T) {
+	// 4 controllers on a 16-core (4x4) chip must still validate and spread.
+	d := New(4, 16, 75, 13, nil, 0)
+	for i := 0; i < 4; i++ {
+		tile := int(d.TileOf(i))
+		if tile < 0 || tile >= 16 {
+			t.Fatalf("controller %d at out-of-range tile %d", i, tile)
+		}
+	}
+	_ = mem.CoreID(0)
+}

@@ -1,0 +1,228 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§4): the scheme-comparison matrices of Figures 6-8, the
+// Limited-k sensitivity of Figure 9, the cluster-size sensitivity of Figure
+// 10, the run-length motivation data of Figure 1, and the §4.2 replacement-
+// policy and §2.3.2 lookup-oracle ablations. cmd/lard-bench and the
+// repository's Go benchmarks are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lard/internal/coherence"
+	"lard/internal/config"
+	"lard/internal/sim"
+	"lard/internal/trace"
+)
+
+// Base configures a whole experiment campaign.
+type Base struct {
+	// Cores selects the machine: 64 (Table 1) or 16 (scaled-down).
+	Cores int
+	// OpsScale scales per-core operation counts.
+	OpsScale float64
+	// Seed selects the workload instance.
+	Seed uint64
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// Benchmarks restricts the benchmark set (nil = all 21).
+	Benchmarks []string
+}
+
+func (b Base) config() *config.Config {
+	if b.Cores == 16 {
+		return config.Small()
+	}
+	return config.Default64()
+}
+
+func (b Base) benchmarks() []string {
+	if len(b.Benchmarks) > 0 {
+		return b.Benchmarks
+	}
+	return trace.Names()
+}
+
+// Variant is one scheme configuration column of a figure.
+type Variant struct {
+	// Label is the column header (figure nomenclature).
+	Label string
+	// Scheme is the LLC management scheme.
+	Scheme coherence.Scheme
+	// RT, K and Cluster parameterize the locality-aware protocol
+	// (K: -1 = Complete classifier, otherwise Limited-K).
+	RT, K, Cluster int
+	// ASRLevel is ASR's replication level; AutoASR selects the best of the
+	// five levels by energy-delay product per benchmark (§3.3).
+	ASRLevel float64
+	AutoASR  bool
+	// PlainLRU selects traditional LRU LLC replacement (§4.2 ablation).
+	PlainLRU bool
+	// TLH selects the temporal-locality-hint LRU alternative of §2.2.4.
+	TLH bool
+	// KeepL1 selects the §2.2.3 keep-L1-on-replica-eviction strategy.
+	KeepL1 bool
+	// Oracle enables the §2.3.2 perfect local-lookup oracle.
+	Oracle bool
+	// TrackRuns enables the Figure-1 histogram.
+	TrackRuns bool
+}
+
+// StandardVariants returns the seven columns of Figures 6-8.
+func StandardVariants() []Variant {
+	return []Variant{
+		{Label: "S-NUCA", Scheme: coherence.SNUCA},
+		{Label: "R-NUCA", Scheme: coherence.RNUCA},
+		{Label: "VR", Scheme: coherence.VR},
+		{Label: "ASR", Scheme: coherence.ASR, AutoASR: true},
+		{Label: "RT-1", Scheme: coherence.LocalityAware, RT: 1, K: 3, Cluster: 1},
+		{Label: "RT-3", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1},
+		{Label: "RT-8", Scheme: coherence.LocalityAware, RT: 8, K: 3, Cluster: 1},
+	}
+}
+
+// ASRLevels are the five replication levels evaluated for ASR (§3.3).
+var ASRLevels = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// Run executes one (benchmark, variant) simulation.
+func Run(base Base, bench string, v Variant) (*sim.Result, error) {
+	prof, err := trace.ProfileByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	if v.AutoASR {
+		return runAutoASR(base, prof, v)
+	}
+	cfg := base.config()
+	applyVariant(cfg, v)
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", bench, v.Label, err)
+	}
+	res := sim.Run(cfg, prof, sim.Options{
+		Scheme:    v.Scheme,
+		ASRLevel:  v.ASRLevel,
+		Seed:      base.Seed,
+		OpsScale:  base.OpsScale,
+		TrackRuns: v.TrackRuns,
+	})
+	res.Scheme = v.Label
+	return res, nil
+}
+
+// runAutoASR evaluates the five ASR replication levels and returns the run
+// with the lowest energy-delay product, as the paper's methodology does.
+func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
+	var best *sim.Result
+	bestEDP := 0.0
+	for _, level := range ASRLevels {
+		cfg := base.config()
+		applyVariant(cfg, v)
+		res := sim.Run(cfg, prof, sim.Options{
+			Scheme:   coherence.ASR,
+			ASRLevel: level,
+			Seed:     base.Seed,
+			OpsScale: base.OpsScale,
+		})
+		edp := res.EnergyTotal() * float64(res.CompletionTime)
+		if best == nil || edp < bestEDP {
+			best, bestEDP = res, edp
+		}
+	}
+	best.Scheme = v.Label
+	return best, nil
+}
+
+// applyVariant maps a variant onto the architectural configuration.
+func applyVariant(cfg *config.Config, v Variant) {
+	if v.Scheme == coherence.LocalityAware {
+		if v.RT > 0 {
+			cfg.RT = v.RT
+		}
+		switch {
+		case v.K < 0:
+			cfg.ClassifierK = 0 // Complete
+		case v.K > 0:
+			cfg.ClassifierK = v.K
+		}
+		if v.Cluster > 0 {
+			cfg.ClusterSize = v.Cluster
+		}
+	}
+	if v.PlainLRU {
+		cfg.Replacement = config.PlainLRU
+	}
+	if v.TLH {
+		cfg.Replacement = config.TLHLRU
+	}
+	cfg.KeepL1OnReplicaEvict = v.KeepL1
+	cfg.LookupOracle = v.Oracle
+}
+
+// Matrix holds the results of a benchmark x variant campaign.
+type Matrix struct {
+	Benches  []string
+	Variants []Variant
+	// Results[bench][label] is the run result.
+	Results map[string]map[string]*sim.Result
+}
+
+// RunMatrix executes every (benchmark, variant) pair, fanning the
+// independent simulations out over Parallelism workers.
+func RunMatrix(base Base, variants []Variant) (*Matrix, error) {
+	benches := base.benchmarks()
+	m := &Matrix{
+		Benches:  benches,
+		Variants: variants,
+		Results:  make(map[string]map[string]*sim.Result, len(benches)),
+	}
+	for _, b := range benches {
+		m.Results[b] = make(map[string]*sim.Result, len(variants))
+	}
+	type job struct {
+		bench string
+		v     Variant
+	}
+	jobs := make(chan job)
+	par := base.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := Run(base, j.bench, j.v)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					m.Results[j.bench][j.v.Label] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range benches {
+		for _, v := range variants {
+			jobs <- job{b, v}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// Get returns the result for (bench, label).
+func (m *Matrix) Get(bench, label string) *sim.Result { return m.Results[bench][label] }

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"lard/internal/coherence"
+)
+
+// smallBase is a fast campaign configuration for tests.
+func smallBase(benches ...string) Base {
+	return Base{Cores: 16, OpsScale: 0.05, Benchmarks: benches}
+}
+
+func TestStandardVariants(t *testing.T) {
+	vs := StandardVariants()
+	want := []string{"S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-3", "RT-8"}
+	if len(vs) != len(want) {
+		t.Fatalf("%d variants, want %d", len(vs), len(want))
+	}
+	for i, w := range want {
+		if vs[i].Label != w {
+			t.Errorf("variant %d = %q, want %q", i, vs[i].Label, w)
+		}
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	_, err := Run(smallBase(), "NOPE", Variant{Label: "S-NUCA"})
+	if err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestRunMatrixAndTables(t *testing.T) {
+	base := smallBase("DEDUP", "BARNES")
+	m, err := RunMatrix(base, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get("DEDUP", "RT-3") == nil || m.Get("BARNES", "VR") == nil {
+		t.Fatal("matrix cells missing")
+	}
+	t6, avg := Fig6Energy(m)
+	if !strings.Contains(t6, "BARNES") || !strings.Contains(t6, "AVERAGE") {
+		t.Error("Figure 6 table incomplete")
+	}
+	if avg["S-NUCA"] != 1.0 {
+		t.Errorf("S-NUCA normalizes to 1.0, got %v", avg["S-NUCA"])
+	}
+	t7, _ := Fig7Time(m)
+	if !strings.Contains(t7, "completion time") {
+		t.Error("Figure 7 table incomplete")
+	}
+	t8 := Fig8MissTypes(m)
+	if !strings.Contains(t8, "Figure 8") {
+		t.Error("Figure 8 table incomplete")
+	}
+	hl := Headline(m)
+	for _, b := range []string{"VR", "ASR", "R-NUCA", "S-NUCA"} {
+		if !strings.Contains(hl, b) {
+			t.Errorf("headline missing baseline %s", b)
+		}
+	}
+	if eb := EnergyBreakdownTable(m, "BARNES"); !strings.Contains(eb, "DRAM") {
+		t.Error("energy breakdown missing components")
+	}
+	if tb := TimeBreakdownTable(m, "BARNES"); !strings.Contains(tb, "Synchronization") {
+		t.Error("time breakdown missing components")
+	}
+}
+
+func TestAutoASRPicksALevel(t *testing.T) {
+	res, err := Run(smallBase(), "DEDUP", Variant{Label: "ASR", Scheme: coherence.ASR, AutoASR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "ASR" {
+		t.Fatalf("label = %q", res.Scheme)
+	}
+}
+
+func TestFig1RunLengths(t *testing.T) {
+	table, hists, err := Fig1RunLengths(smallBase("BARNES"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "BARNES") {
+		t.Error("Figure 1 table missing benchmark")
+	}
+	if hists["BARNES"] == nil || hists["BARNES"].Total() == 0 {
+		t.Error("Figure 1 histogram empty")
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	base := smallBase("DEDUP")
+	table, vals, err := Fig9LimitedK(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "k=1") || !strings.Contains(table, "GEOMEAN") {
+		t.Error("Figure 9 table incomplete")
+	}
+	pair, ok := vals["DEDUP"][64]
+	if !ok {
+		t.Fatal("Complete column missing")
+	}
+	if pair[0] != 1.0 || pair[1] != 1.0 {
+		t.Errorf("normalization base must be 1.0, got %v", pair)
+	}
+}
+
+func TestFig10Structure(t *testing.T) {
+	base := smallBase("DEDUP")
+	table, vals, err := Fig10ClusterSize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "C-1") {
+		t.Error("Figure 10 table incomplete")
+	}
+	if pair := vals["DEDUP"][1]; pair[0] != 1.0 {
+		t.Errorf("C-1 normalizes to 1.0, got %v", pair)
+	}
+}
+
+func TestReplacementAblation(t *testing.T) {
+	table, vals, err := ReplacementAblation(smallBase("DEDUP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "mod") {
+		t.Error("ablation table incomplete")
+	}
+	if _, ok := vals["DEDUP"]; !ok {
+		t.Fatal("ablation values missing")
+	}
+}
+
+func TestOracleAblation(t *testing.T) {
+	_, vals, err := OracleAblation(smallBase("DEDUP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := vals["DEDUP"]
+	// The oracle removes failed-lookup cost but also perturbs contention
+	// interleaving; the paper's claim is that the two are within 1%, and at
+	// test scale they must at least be close.
+	for i, v := range pair {
+		if v < 0.9 || v > 1.1 {
+			t.Errorf("lookup/oracle ratio[%d] = %v, want near 1", i, v)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"fmt"
+
+	"lard/internal/coherence"
+	"lard/internal/sim"
+	"lard/internal/stats"
+)
+
+// Fig9Benches is the benchmark subset plotted by Figure 9 (the others are
+// insensitive to the classifier, like DEDUP).
+var Fig9Benches = []string{
+	"RADIX", "LU-NC", "CHOLESKY", "BARNES", "OCEAN-NC", "WATER-NSQ",
+	"RAYTRACE", "VOLREND", "STREAMCLUS.", "DEDUP", "FERRET", "FACESIM",
+	"CONCOMP",
+}
+
+// Fig9Ks are the Limited-k classifier sizes of Figure 9; 64 denotes the
+// Complete classifier.
+var Fig9Ks = []int{1, 3, 5, 7, 64}
+
+// Fig9LimitedK runs the Limited-k sensitivity study at RT=3 and renders the
+// energy and completion-time tables normalized to the Complete classifier.
+// It returns the tables and the normalized values keyed [bench][k].
+func Fig9LimitedK(base Base) (string, map[string]map[int][2]float64, error) {
+	if base.Benchmarks == nil {
+		base.Benchmarks = Fig9Benches
+	}
+	var variants []Variant
+	for _, k := range Fig9Ks {
+		kk := k
+		if k >= base.config().Cores {
+			kk = -1 // Complete
+		}
+		variants = append(variants, Variant{
+			Label:  fmt.Sprintf("k=%d", k),
+			Scheme: coherence.LocalityAware, RT: 3, K: kk, Cluster: 1,
+		})
+	}
+	m, err := RunMatrix(base, variants)
+	if err != nil {
+		return "", nil, err
+	}
+	vals := make(map[string]map[int][2]float64)
+	baseLabel := fmt.Sprintf("k=%d", Fig9Ks[len(Fig9Ks)-1])
+	render := func(title string, metric func(*sim.Result) float64, idx int) string {
+		headers := append([]string{"Benchmark"}, labels(variants)...)
+		var rows [][]string
+		geos := make([][]float64, len(variants))
+		for _, b := range m.Benches {
+			ref := metric(m.Get(b, baseLabel))
+			row := []string{b}
+			for i, v := range variants {
+				val := metric(m.Get(b, v.Label)) / ref
+				if vals[b] == nil {
+					vals[b] = make(map[int][2]float64)
+				}
+				pair := vals[b][Fig9Ks[i]]
+				pair[idx] = val
+				vals[b][Fig9Ks[i]] = pair
+				geos[i] = append(geos[i], val)
+				row = append(row, fmt.Sprintf("%.3f", val))
+			}
+			rows = append(rows, row)
+		}
+		gr := []string{"GEOMEAN"}
+		for i := range variants {
+			gr = append(gr, fmt.Sprintf("%.3f", stats.Geomean(geos[i])))
+		}
+		rows = append(rows, gr)
+		return title + "\n" + stats.Table(headers, rows)
+	}
+	out := render("Figure 9a: energy vs Limited-k (normalized to Complete, RT=3)",
+		func(r *sim.Result) float64 { return r.EnergyTotal() }, 0) + "\n" +
+		render("Figure 9b: completion time vs Limited-k (normalized to Complete, RT=3)",
+			func(r *sim.Result) float64 { return float64(r.CompletionTime) }, 1)
+	return out, vals, nil
+}
+
+// Fig10Benches is the benchmark subset plotted by Figure 10.
+var Fig10Benches = []string{
+	"RADIX", "LU-NC", "BARNES", "WATER-NSQ", "RAYTRACE", "VOLREND",
+	"BLACKSCH.", "SWAPTIONS", "FLUIDANIM.", "STREAMCLUS.", "FERRET",
+	"BODYTRACK", "FACESIM", "PATRICIA", "CONCOMP",
+}
+
+// Fig10Clusters are the cluster sizes of Figure 10.
+var Fig10Clusters = []int{1, 4, 16, 64}
+
+// Fig10ClusterSize runs the cluster-size sensitivity study at RT=3,
+// normalized to cluster size 1. It returns the tables and values keyed
+// [bench][clusterSize] as {energy, time} pairs.
+func Fig10ClusterSize(base Base) (string, map[string]map[int][2]float64, error) {
+	if base.Benchmarks == nil {
+		base.Benchmarks = Fig10Benches
+	}
+	clusters := Fig10Clusters
+	if base.config().Cores < 64 {
+		clusters = []int{1, 2, 4, 16} // scaled-down machine
+	}
+	var variants []Variant
+	for _, c := range clusters {
+		variants = append(variants, Variant{
+			Label:  fmt.Sprintf("C-%d", c),
+			Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: c,
+		})
+	}
+	m, err := RunMatrix(base, variants)
+	if err != nil {
+		return "", nil, err
+	}
+	vals := make(map[string]map[int][2]float64)
+	render := func(title string, metric func(*sim.Result) float64, idx int) string {
+		headers := append([]string{"Benchmark"}, labels(variants)...)
+		var rows [][]string
+		geos := make([][]float64, len(variants))
+		for _, b := range m.Benches {
+			ref := metric(m.Get(b, "C-1"))
+			row := []string{b}
+			for i, v := range variants {
+				val := metric(m.Get(b, v.Label)) / ref
+				if vals[b] == nil {
+					vals[b] = make(map[int][2]float64)
+				}
+				pair := vals[b][clusters[i]]
+				pair[idx] = val
+				vals[b][clusters[i]] = pair
+				geos[i] = append(geos[i], val)
+				row = append(row, fmt.Sprintf("%.3f", val))
+			}
+			rows = append(rows, row)
+		}
+		gr := []string{"GEOMEAN"}
+		for i := range variants {
+			gr = append(gr, fmt.Sprintf("%.3f", stats.Geomean(geos[i])))
+		}
+		rows = append(rows, gr)
+		return title + "\n" + stats.Table(headers, rows)
+	}
+	out := render("Figure 10a: energy vs cluster size (normalized to C-1, RT=3)",
+		func(r *sim.Result) float64 { return r.EnergyTotal() }, 0) + "\n" +
+		render("Figure 10b: completion time vs cluster size (normalized to C-1, RT=3)",
+			func(r *sim.Result) float64 { return float64(r.CompletionTime) }, 1)
+	return out, vals, nil
+}
+
+// ReplacementAblation compares the paper's modified-LRU LLC replacement
+// against plain LRU and the temporal-locality-hint alternative it cites,
+// under RT-3 (§2.2.4/§4.2). It returns the table and the modified/plain
+// ratios keyed [bench] as {energy, time}.
+func ReplacementAblation(base Base) (string, map[string][2]float64, error) {
+	variants := []Variant{
+		{Label: "mod-LRU", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1},
+		{Label: "LRU", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1, PlainLRU: true},
+		{Label: "TLH-LRU", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1, TLH: true},
+	}
+	m, err := RunMatrix(base, variants)
+	if err != nil {
+		return "", nil, err
+	}
+	headers := []string{"Benchmark", "energy mod/LRU", "time mod/LRU", "energy mod/TLH", "time mod/TLH"}
+	vals := make(map[string][2]float64)
+	var rows [][]string
+	for _, b := range m.Benches {
+		mod, lru, tlh := m.Get(b, "mod-LRU"), m.Get(b, "LRU"), m.Get(b, "TLH-LRU")
+		e := mod.EnergyTotal() / lru.EnergyTotal()
+		t := float64(mod.CompletionTime) / float64(lru.CompletionTime)
+		et := mod.EnergyTotal() / tlh.EnergyTotal()
+		tt := float64(mod.CompletionTime) / float64(tlh.CompletionTime)
+		vals[b] = [2]float64{e, t}
+		rows = append(rows, []string{b,
+			fmt.Sprintf("%.3f", e), fmt.Sprintf("%.3f", t),
+			fmt.Sprintf("%.3f", et), fmt.Sprintf("%.3f", tt)})
+	}
+	return "§4.2: modified-LRU vs plain LRU and TLH-LRU (RT-3; <1 means modified-LRU wins)\n" +
+		stats.Table(headers, rows), vals, nil
+}
+
+// ReplicaEvictAblation compares the paper's back-invalidation on replica
+// eviction against the rejected keep-L1-valid strategy (§2.2.3); the paper
+// reports a negligible difference.
+func ReplicaEvictAblation(base Base) (string, map[string][2]float64, error) {
+	variants := []Variant{
+		{Label: "back-inv", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1},
+		{Label: "keep-L1", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1, KeepL1: true},
+	}
+	m, err := RunMatrix(base, variants)
+	if err != nil {
+		return "", nil, err
+	}
+	headers := []string{"Benchmark", "energy back/keep", "time back/keep"}
+	vals := make(map[string][2]float64)
+	var rows [][]string
+	for _, b := range m.Benches {
+		bi, kp := m.Get(b, "back-inv"), m.Get(b, "keep-L1")
+		e := bi.EnergyTotal() / kp.EnergyTotal()
+		t := float64(bi.CompletionTime) / float64(kp.CompletionTime)
+		vals[b] = [2]float64{e, t}
+		rows = append(rows, []string{b, fmt.Sprintf("%.3f", e), fmt.Sprintf("%.3f", t)})
+	}
+	return "§2.2.3: back-invalidation vs keep-L1 replica eviction (paper: negligible difference)\n" +
+		stats.Table(headers, rows), vals, nil
+}
+
+// OracleAblation compares the always-lookup policy against the §2.3.2
+// dynamic oracle under RT-3; the paper reports a <1 % difference.
+func OracleAblation(base Base) (string, map[string][2]float64, error) {
+	variants := []Variant{
+		{Label: "lookup", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1},
+		{Label: "oracle", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1, Oracle: true},
+	}
+	m, err := RunMatrix(base, variants)
+	if err != nil {
+		return "", nil, err
+	}
+	headers := []string{"Benchmark", "energy lookup/oracle", "time lookup/oracle"}
+	vals := make(map[string][2]float64)
+	var rows [][]string
+	for _, b := range m.Benches {
+		lk, or := m.Get(b, "lookup"), m.Get(b, "oracle")
+		e := lk.EnergyTotal() / or.EnergyTotal()
+		t := float64(lk.CompletionTime) / float64(or.CompletionTime)
+		vals[b] = [2]float64{e, t}
+		rows = append(rows, []string{b, fmt.Sprintf("%.4f", e), fmt.Sprintf("%.4f", t)})
+	}
+	return "§2.3.2: always-lookup vs dynamic oracle (RT-3; paper reports <1% apart)\n" +
+		stats.Table(headers, rows), vals, nil
+}
+
+func labels(vs []Variant) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Label
+	}
+	return out
+}

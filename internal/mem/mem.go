@@ -1,0 +1,145 @@
+// Package mem defines the base types shared by every subsystem of the lard
+// simulator: physical addresses, cache-line and page arithmetic, MESI states,
+// access types and the ground-truth data classes used by the workload
+// generators and the Figure-1 run-length analysis.
+package mem
+
+import "fmt"
+
+// Addr is a byte-granularity physical address.
+type Addr uint64
+
+// LineAddr is a cache-line-granularity address (Addr >> LineShift).
+type LineAddr uint64
+
+// PageAddr is a page-granularity address (Addr >> PageShift).
+type PageAddr uint64
+
+// CoreID identifies a core (equivalently: a tile, an LLC slice).
+type CoreID int32
+
+// Cycles counts simulated clock cycles at the 1 GHz core clock.
+type Cycles uint64
+
+// Geometry constants shared by the whole model (Table 1: 64-byte lines; the
+// page size is the conventional 4 KB used for R-NUCA-style OS classification).
+const (
+	LineShift = 6
+	LineBytes = 1 << LineShift
+	PageShift = 12
+	PageBytes = 1 << PageShift
+	// LinesPerPage is the number of cache lines in one page.
+	LinesPerPage = 1 << (PageShift - LineShift)
+)
+
+// LineOf returns the cache line containing address a.
+func LineOf(a Addr) LineAddr { return LineAddr(a >> LineShift) }
+
+// PageOf returns the page containing address a.
+func PageOf(a Addr) PageAddr { return PageAddr(a >> PageShift) }
+
+// PageOfLine returns the page containing cache line l.
+func PageOfLine(l LineAddr) PageAddr { return PageAddr(l >> (PageShift - LineShift)) }
+
+// AddrOfLine returns the first byte address of cache line l.
+func AddrOfLine(l LineAddr) Addr { return Addr(l) << LineShift }
+
+// LineIndexInPage returns the index (0..LinesPerPage-1) of line l within its page.
+func LineIndexInPage(l LineAddr) int { return int(l) & (LinesPerPage - 1) }
+
+// AccessType distinguishes the three kinds of memory references issued by a
+// core's pipeline.
+type AccessType uint8
+
+// Access types.
+const (
+	IFetch AccessType = iota // instruction fetch (L1-I)
+	Load                     // data read (L1-D)
+	Store                    // data write (L1-D)
+)
+
+// IsWrite reports whether the access requires write permission.
+func (t AccessType) IsWrite() bool { return t == Store }
+
+// IsInstr reports whether the access goes through the L1-I cache.
+func (t AccessType) IsInstr() bool { return t == IFetch }
+
+// String implements fmt.Stringer.
+func (t AccessType) String() string {
+	switch t {
+	case IFetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(t))
+	}
+}
+
+// DataClass is the ground-truth classification of a cache line used by the
+// motivation analysis (Figure 1). It is known to the workload generator, not
+// to the protocol: the paper's point is that the replication decision must be
+// based on measured locality, not on the class.
+type DataClass uint8
+
+// Data classes, in the order plotted by Figure 1.
+const (
+	ClassPrivate DataClass = iota
+	ClassInstruction
+	ClassSharedRO
+	ClassSharedRW
+	NumDataClasses = 4
+)
+
+// String implements fmt.Stringer.
+func (c DataClass) String() string {
+	switch c {
+	case ClassPrivate:
+		return "private"
+	case ClassInstruction:
+		return "instruction"
+	case ClassSharedRO:
+		return "shared-ro"
+	case ClassSharedRW:
+		return "shared-rw"
+	default:
+		return fmt.Sprintf("DataClass(%d)", uint8(c))
+	}
+}
+
+// MESI is a cache-line coherence state. The same enumeration is used for L1
+// lines, LLC replicas, and the global state recorded at the home directory.
+type MESI uint8
+
+// MESI states.
+const (
+	Invalid MESI = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// Valid reports whether the line holds usable data.
+func (s MESI) Valid() bool { return s != Invalid }
+
+// Writable reports whether a hit in this state satisfies a store without a
+// coherence transaction.
+func (s MESI) Writable() bool { return s == Exclusive || s == Modified }
+
+// String implements fmt.Stringer.
+func (s MESI) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("MESI(%d)", uint8(s))
+	}
+}

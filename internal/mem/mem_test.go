@@ -1,0 +1,150 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want LineAddr
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{127, 1},
+		{128, 2},
+		{0xFFFF_FFFF_FFFF_FFFF, 0x03FF_FFFF_FFFF_FFFF},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want PageAddr
+	}{
+		{0, 0},
+		{4095, 0},
+		{4096, 1},
+		{8191, 1},
+		{8192, 2},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.want {
+			t.Errorf("PageOf(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestLinesPerPage(t *testing.T) {
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64 (4 KB pages / 64 B lines)", LinesPerPage)
+	}
+}
+
+func TestPageOfLineConsistent(t *testing.T) {
+	// PageOfLine(LineOf(a)) must equal PageOf(a) for all addresses.
+	f := func(a uint64) bool {
+		return PageOfLine(LineOf(Addr(a))) == PageOf(Addr(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrOfLineRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		l := LineOf(Addr(a))
+		return LineOf(AddrOfLine(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineIndexInPage(t *testing.T) {
+	if got := LineIndexInPage(0); got != 0 {
+		t.Errorf("LineIndexInPage(0) = %d", got)
+	}
+	if got := LineIndexInPage(63); got != 63 {
+		t.Errorf("LineIndexInPage(63) = %d", got)
+	}
+	if got := LineIndexInPage(64); got != 0 {
+		t.Errorf("LineIndexInPage(64) = %d", got)
+	}
+	if got := LineIndexInPage(100); got != 36 {
+		t.Errorf("LineIndexInPage(100) = %d", got)
+	}
+}
+
+func TestAccessTypePredicates(t *testing.T) {
+	if IFetch.IsWrite() || Load.IsWrite() || !Store.IsWrite() {
+		t.Error("IsWrite: only Store must be a write")
+	}
+	if !IFetch.IsInstr() || Load.IsInstr() || Store.IsInstr() {
+		t.Error("IsInstr: only IFetch must be an instruction access")
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	cases := map[AccessType]string{IFetch: "ifetch", Load: "load", Store: "store", 99: "AccessType(99)"}
+	for at, want := range cases {
+		if got := at.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", at, got, want)
+		}
+	}
+}
+
+func TestDataClassString(t *testing.T) {
+	cases := map[DataClass]string{
+		ClassPrivate:     "private",
+		ClassInstruction: "instruction",
+		ClassSharedRO:    "shared-ro",
+		ClassSharedRW:    "shared-rw",
+		99:               "DataClass(99)",
+	}
+	for dc, want := range cases {
+		if got := dc.String(); got != want {
+			t.Errorf("DataClass(%d).String() = %q, want %q", dc, got, want)
+		}
+	}
+}
+
+func TestMESIPredicates(t *testing.T) {
+	if Invalid.Valid() {
+		t.Error("Invalid must not be Valid")
+	}
+	for _, s := range []MESI{Shared, Exclusive, Modified} {
+		if !s.Valid() {
+			t.Errorf("%v must be Valid", s)
+		}
+	}
+	if Invalid.Writable() || Shared.Writable() {
+		t.Error("I and S must not be Writable")
+	}
+	if !Exclusive.Writable() || !Modified.Writable() {
+		t.Error("E and M must be Writable")
+	}
+}
+
+func TestMESIString(t *testing.T) {
+	cases := map[MESI]string{Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", 9: "MESI(9)"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("MESI(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestNumDataClasses(t *testing.T) {
+	if NumDataClasses != 4 {
+		t.Fatalf("NumDataClasses = %d, want 4", NumDataClasses)
+	}
+}

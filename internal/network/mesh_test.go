@@ -1,0 +1,174 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lard/internal/energy"
+	"lard/internal/mem"
+)
+
+func newTestMesh(meter *energy.Meter) *Mesh { return New(4, 4, 2, meter, 5, 3) }
+
+func TestHopsManhattan(t *testing.T) {
+	m := newTestMesh(nil)
+	cases := []struct {
+		src, dst mem.CoreID
+		want     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 15, 6},
+		{5, 10, 2},
+		{3, 12, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m := newTestMesh(nil)
+	f := func(a, b uint8) bool {
+		s, d := mem.CoreID(a%16), mem.CoreID(b%16)
+		return m.Hops(s, d) == m.Hops(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	m := newTestMesh(nil)
+	// 1 hop, 1 flit: 2 cycles; tail = head.
+	if got := m.Send(0, 1, 1, 100); got != 102 {
+		t.Errorf("1-hop 1-flit: arrive %d, want 102", got)
+	}
+	// Fresh mesh: 3 hops, 9 flits: 3*2 + 8 = 14.
+	m2 := newTestMesh(nil)
+	if got := m2.Send(0, 3, 9, 0); got != 14 {
+		t.Errorf("3-hop 9-flit: arrive %d, want 14", got)
+	}
+	if got := m2.LatencyNoContention(0, 3, 9); got != 14 {
+		t.Errorf("LatencyNoContention = %d, want 14", got)
+	}
+}
+
+func TestLocalSendFree(t *testing.T) {
+	m := newTestMesh(nil)
+	if got := m.Send(5, 5, 9, 77); got != 77 {
+		t.Errorf("local send must be free, got %d", got)
+	}
+}
+
+func TestSendZeroFlitsPanics(t *testing.T) {
+	m := newTestMesh(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send with 0 flits must panic")
+		}
+	}()
+	m.Send(0, 1, 0, 0)
+}
+
+// TestLinkContention: two 8-flit messages on the same link at the same time
+// must serialize: the second head waits for the first message's 8 cycles.
+func TestLinkContention(t *testing.T) {
+	m := newTestMesh(nil)
+	first := m.Send(0, 1, 8, 0)  // head at 0, link busy [0,8), arrive 2+7=9
+	second := m.Send(0, 1, 8, 0) // head must wait until 8
+	if first != 9 {
+		t.Fatalf("first arrival = %d, want 9", first)
+	}
+	if second != 17 {
+		t.Fatalf("second arrival = %d, want 17 (8 wait + 2 hop + 7 tail)", second)
+	}
+	if m.LinkWait() != 8 {
+		t.Fatalf("LinkWait = %d, want 8", m.LinkWait())
+	}
+}
+
+// TestDisjointPathsNoContention: messages on disjoint links do not interact.
+func TestDisjointPathsNoContention(t *testing.T) {
+	m := newTestMesh(nil)
+	m.Send(0, 1, 8, 0)
+	got := m.Send(10, 11, 8, 0)
+	if got != 9 {
+		t.Fatalf("disjoint send delayed: %d, want 9", got)
+	}
+	if m.LinkWait() != 0 {
+		t.Fatalf("LinkWait = %d, want 0", m.LinkWait())
+	}
+}
+
+// TestXYSeparatesDimensions: with XY routing, 0->5 goes east then south,
+// using different links than 1->4's west-then-... — specifically, messages
+// crossing in opposite directions never share a directed link.
+func TestOppositeDirectionsIndependent(t *testing.T) {
+	m := newTestMesh(nil)
+	a := m.Send(0, 3, 8, 0) // east along row 0
+	b := m.Send(3, 0, 8, 0) // west along row 0
+	if a != b {
+		t.Fatalf("opposite directions must not contend: %d vs %d", a, b)
+	}
+}
+
+func TestEnergyPerFlitHop(t *testing.T) {
+	var meter energy.Meter
+	m := newTestMesh(&meter)
+	m.Send(0, 3, 4, 0) // 3 hops x 4 flits = 12 flit-hops
+	if got := meter.Count(energy.Router); got != 12 {
+		t.Errorf("router events = %d, want 12", got)
+	}
+	if got := meter.PJ(energy.Router); got != 60 {
+		t.Errorf("router pJ = %v, want 60", got)
+	}
+	if got := meter.PJ(energy.Link); got != 36 {
+		t.Errorf("link pJ = %v, want 36", got)
+	}
+	if m.FlitHops() != 12 {
+		t.Errorf("FlitHops = %d, want 12", m.FlitHops())
+	}
+}
+
+// TestSendMonotonic: arrival is never before departure plus zero-load
+// latency, and contention only adds delay.
+func TestSendMonotonic(t *testing.T) {
+	f := func(msgs []uint32) bool {
+		m := newTestMesh(nil)
+		for _, raw := range msgs {
+			src := mem.CoreID(raw % 16)
+			dst := mem.CoreID((raw >> 4) % 16)
+			flits := int(raw>>8)%9 + 1
+			depart := mem.Cycles(raw >> 16)
+			got := m.Send(src, dst, flits, depart)
+			if got < depart+m.LatencyNoContention(src, dst, flits) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	m := New(8, 8, 2, nil, 1, 1)
+	if m.Width() != 8 || m.Height() != 8 {
+		t.Fatal("dimensions mismatch")
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0,4) must panic")
+		}
+	}()
+	New(0, 4, 2, nil, 1, 1)
+}

@@ -1,0 +1,210 @@
+// Package sim executes a workload on the coherence engine: it interleaves
+// the per-core streams in global event order (each core is the paper's
+// in-order, single-issue, 1-IPC pipeline that blocks on its memory
+// accesses), implements the barrier synchronization of the parallel region,
+// and aggregates the §3.4 metrics: completion time and its breakdown, the
+// energy breakdown, L1 miss types, and the Figure-1 run-length histogram.
+package sim
+
+import (
+	"container/heap"
+	"strconv"
+
+	"lard/internal/coherence"
+	"lard/internal/config"
+	"lard/internal/energy"
+	"lard/internal/mem"
+	"lard/internal/stats"
+	"lard/internal/trace"
+)
+
+// Options configure one simulation run.
+type Options struct {
+	// Scheme is the LLC management scheme.
+	Scheme coherence.Scheme
+	// ASRLevel is ASR's replication probability level.
+	ASRLevel float64
+	// Seed drives workload generation and ASR's lottery.
+	Seed uint64
+	// OpsScale scales per-core operation counts (1.0 = profile nominal).
+	OpsScale float64
+	// CheckInvariants enables the SWMR/inclusion checker.
+	CheckInvariants bool
+	// TrackRuns enables the Figure-1 run-length tracker.
+	TrackRuns bool
+}
+
+// Result is the outcome of one (benchmark, scheme) run.
+type Result struct {
+	// Benchmark and Scheme identify the run.
+	Benchmark string
+	Scheme    string
+	// Cores is the simulated core count.
+	Cores int
+	// Ops is the total number of memory references executed.
+	Ops uint64
+	// CompletionTime is the parallel-region completion time (the slowest
+	// core's finish cycle).
+	CompletionTime mem.Cycles
+	// Time is the per-core average latency breakdown; its Total() equals
+	// the average per-core busy time and tracks CompletionTime.
+	Time stats.TimeBreakdown
+	// EnergyPJ is the per-component dynamic energy in picojoules.
+	EnergyPJ [energy.NumComponents]float64
+	// Miss counts accesses by service point.
+	Miss stats.MissCounts
+	// Runs is the Figure-1 histogram (nil unless TrackRuns).
+	Runs *stats.RunLengthHist
+	// PageReclassifications counts R-NUCA private->shared transitions.
+	PageReclassifications uint64
+}
+
+// EnergyTotal returns the total dynamic energy in picojoules.
+func (r *Result) EnergyTotal() float64 {
+	var t float64
+	for _, v := range r.EnergyPJ {
+		t += v
+	}
+	return t
+}
+
+// event is one schedulable core step.
+type event struct {
+	t    mem.Cycles
+	core mem.CoreID
+}
+
+// eventHeap is a deterministic min-heap (time, then core id).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].core < h[j].core
+}
+func (h eventHeap) Swap(i, j int)                    { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)                      { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any                        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(t mem.Cycles, c mem.CoreID) { heap.Push(h, event{t, c}) }
+
+// Run simulates profile p on configuration cfg and returns the aggregated
+// result. Runs are deterministic for fixed inputs.
+func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
+	if opt.OpsScale == 0 {
+		opt.OpsScale = 1
+	}
+	eng := coherence.New(cfg, coherence.Options{
+		Scheme:          opt.Scheme,
+		ASRLevel:        opt.ASRLevel,
+		Seed:            opt.Seed,
+		CheckInvariants: opt.CheckInvariants,
+		TrackRuns:       opt.TrackRuns,
+	})
+	w := trace.Generate(p, cfg, opt.OpsScale, opt.Seed)
+
+	n := cfg.Cores
+	var (
+		h          eventHeap
+		breakdown  = make([]stats.TimeBreakdown, n)
+		miss       = make([]stats.MissCounts, n)
+		finish     = make([]mem.Cycles, n)
+		atBarrier  = make([]bool, n)
+		arriveAt   = make([]mem.Cycles, n)
+		running    = n
+		waiting    = 0
+		totalOps   uint64
+		completion mem.Cycles
+	)
+	for c := 0; c < n; c++ {
+		h.push(0, mem.CoreID(c))
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		c := ev.core
+		op, ok := w.Streams[c].Next()
+		if !ok {
+			finish[c] = ev.t
+			running--
+			completion = max(completion, ev.t)
+			// A finished core can no longer reach a barrier; if everyone
+			// else is already waiting, release them.
+			if waiting > 0 && waiting == running {
+				releaseBarrier(&h, atBarrier, arriveAt, breakdown, &waiting)
+			}
+			continue
+		}
+		if op.Barrier {
+			atBarrier[c] = true
+			arriveAt[c] = ev.t
+			waiting++
+			if waiting == running {
+				releaseBarrier(&h, atBarrier, arriveAt, breakdown, &waiting)
+			}
+			continue
+		}
+		t := ev.t + mem.Cycles(op.Gap)
+		breakdown[c][stats.Compute] += mem.Cycles(op.Gap)
+		res := eng.Access(c, t, coherence.Op{
+			Type:  op.Type,
+			Line:  mem.LineOf(op.Addr),
+			Class: op.Class,
+		})
+		breakdown[c].Add(res.Breakdown)
+		miss[c][res.Miss]++
+		totalOps++
+		h.push(res.Done, c)
+	}
+
+	r := &Result{
+		Benchmark:             p.Name,
+		Scheme:                schemeLabel(cfg, opt),
+		Cores:                 n,
+		Ops:                   totalOps,
+		CompletionTime:        completion,
+		EnergyPJ:              eng.Meter().Breakdown(),
+		PageReclassifications: eng.PageReclassifications(),
+	}
+	for c := 0; c < n; c++ {
+		r.Time.Add(breakdown[c])
+		r.Miss.Add(miss[c])
+	}
+	// Per-core average breakdown (what Figure 7 stacks).
+	for i := range r.Time {
+		r.Time[i] /= mem.Cycles(n)
+	}
+	if opt.TrackRuns {
+		r.Runs = eng.RunHistogram()
+	}
+	return r
+}
+
+// releaseBarrier wakes every parked core at the latest arrival time,
+// charging the wait to the Synchronization component.
+func releaseBarrier(h *eventHeap, atBarrier []bool, arriveAt []mem.Cycles, breakdown []stats.TimeBreakdown, waiting *int) {
+	var tmax mem.Cycles
+	for c := range atBarrier {
+		if atBarrier[c] {
+			tmax = max(tmax, arriveAt[c])
+		}
+	}
+	for c := range atBarrier {
+		if atBarrier[c] {
+			breakdown[c][stats.Synchronization] += tmax - arriveAt[c]
+			atBarrier[c] = false
+			h.push(tmax, mem.CoreID(c))
+		}
+	}
+	*waiting = 0
+}
+
+// schemeLabel renders the run's scheme the way the figures label it
+// (RT-<threshold> for the locality-aware protocol).
+func schemeLabel(cfg *config.Config, opt Options) string {
+	if opt.Scheme == coherence.LocalityAware {
+		return "RT-" + strconv.Itoa(cfg.RT)
+	}
+	return opt.Scheme.String()
+}

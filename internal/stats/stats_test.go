@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lard/internal/mem"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := map[uint64]RunBucket{
+		1: Run1to2, 2: Run1to2, 3: Run3to9, 9: Run3to9, 10: Run10plus, 1000: Run10plus,
+	}
+	for n, want := range cases {
+		if got := BucketOf(n); got != want {
+			t.Errorf("BucketOf(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestComponentStrings(t *testing.T) {
+	// Figure-7 legend names.
+	want := []string{
+		"Compute", "L1-To-LLC-Replica", "L1-To-LLC-Home", "LLC-Home-Waiting",
+		"LLC-Home-To-Sharers", "LLC-Home-To-OffChip", "Synchronization",
+	}
+	for i, w := range want {
+		if got := TimeComponent(i).String(); got != w {
+			t.Errorf("component %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestMissTypeStrings(t *testing.T) {
+	want := []string{"L1-Hit", "LLC-Replica-Hit", "LLC-Home-Hit", "OffChip-Miss"}
+	for i, w := range want {
+		if got := MissType(i).String(); got != w {
+			t.Errorf("miss type %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestTimeBreakdownAddTotal(t *testing.T) {
+	var a, b TimeBreakdown
+	a[Compute] = 10
+	b[Compute] = 5
+	b[LLCHomeWaiting] = 7
+	a.Add(b)
+	if a[Compute] != 15 || a[LLCHomeWaiting] != 7 {
+		t.Fatalf("Add: %+v", a)
+	}
+	if a.Total() != 22 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+func TestMissCounts(t *testing.T) {
+	var m MissCounts
+	m[L1Hit] = 100
+	m[LLCReplicaHit] = 20
+	m[LLCHomeHit] = 30
+	m[OffChipMiss] = 5
+	if m.L1Misses() != 55 {
+		t.Fatalf("L1Misses = %d, want 55", m.L1Misses())
+	}
+	var n MissCounts
+	n[L1Hit] = 1
+	m.Add(n)
+	if m[L1Hit] != 101 {
+		t.Fatal("Add failed")
+	}
+}
+
+func TestRunLengthHist(t *testing.T) {
+	var h RunLengthHist
+	h[mem.ClassSharedRW][Run10plus] = 90
+	h[mem.ClassPrivate][Run1to2] = 10
+	if h.Total() != 100 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.Share(mem.ClassSharedRW, Run10plus); got != 0.9 {
+		t.Fatalf("Share = %v, want 0.9", got)
+	}
+	var empty RunLengthHist
+	if empty.Share(mem.ClassPrivate, Run1to2) != 0 {
+		t.Fatal("empty histogram share must be 0")
+	}
+	var h2 RunLengthHist
+	h2.Add(&h)
+	if h2.Total() != 100 {
+		t.Fatal("Add failed")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %v, want 4", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean must be 0")
+	}
+	if got := Geomean([]float64{5}); got != 5 {
+		t.Errorf("singleton geomean = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"A", "LongHeader"}, [][]string{{"x", "1"}, {"yy", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "A ") || !strings.Contains(lines[0], "LongHeader") {
+		t.Errorf("header row: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator row: %q", lines[1])
+	}
+	// Columns align: "yy" row pads to header width.
+	if !strings.Contains(lines[3], "yy") {
+		t.Errorf("data row: %q", lines[3])
+	}
+}

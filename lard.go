@@ -1,0 +1,246 @@
+// Package lard (Locality-Aware Replication of Data) is a from-scratch Go
+// reproduction of "Locality-Aware Data Replication in the Last-Level Cache"
+// (Kurian, Devadas, Khan — HPCA 2014).
+//
+// The package is a facade over the full simulation stack in internal/: a
+// 64-core tiled multicore with private L1 caches, a distributed shared LLC
+// with an in-cache ACKwise directory, a 2-D mesh NoC with contention, DRAM
+// controllers with finite bandwidth, dynamic-energy accounting, synthetic
+// workloads for the paper's 21 benchmarks, and five LLC management schemes
+// including the paper's locality-aware replication protocol.
+//
+// Quick start:
+//
+//	res, err := lard.Run("BARNES", lard.LocalityAware(3), lard.Options{})
+//	fmt.Println(res.CompletionCycles, res.EnergyTotalPJ())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every figure and table.
+package lard
+
+import (
+	"fmt"
+
+	"lard/internal/coherence"
+	"lard/internal/config"
+	"lard/internal/energy"
+	"lard/internal/mem"
+	"lard/internal/sim"
+	"lard/internal/stats"
+	"lard/internal/trace"
+)
+
+// Scheme selects and parameterizes an LLC management scheme. The zero value
+// is not valid; use one of the constructors.
+type Scheme struct {
+	// Kind is one of "S-NUCA", "R-NUCA", "VR", "ASR", "RT".
+	Kind string
+	// RT is the replication threshold of the locality-aware protocol.
+	RT int
+	// ClassifierK selects the Limited-k classifier (0 = Complete).
+	ClassifierK int
+	// ClusterSize is the replication cluster size (1, 4, 16 or 64).
+	ClusterSize int
+	// ASRLevel is ASR's replication probability (0, .25, .5, .75, 1).
+	ASRLevel float64
+	// PlainLRU replaces the paper's modified-LRU LLC replacement policy
+	// with traditional LRU (the §4.2 ablation).
+	PlainLRU bool
+	// TLH replaces the replacement policy with the temporal-locality-hint
+	// LRU alternative §2.2.4 cites.
+	TLH bool
+	// KeepL1OnReplicaEvict enables the §2.2.3 strategy the paper rejected:
+	// replica eviction leaves the L1 copy valid.
+	KeepL1OnReplicaEvict bool
+	// LookupOracle enables the §2.3.2 perfect local-lookup oracle.
+	LookupOracle bool
+}
+
+// SNUCA returns the Static-NUCA baseline.
+func SNUCA() Scheme { return Scheme{Kind: "S-NUCA"} }
+
+// RNUCA returns the Reactive-NUCA baseline.
+func RNUCA() Scheme { return Scheme{Kind: "R-NUCA"} }
+
+// VictimReplication returns the VR baseline.
+func VictimReplication() Scheme { return Scheme{Kind: "VR"} }
+
+// ASR returns the Adaptive Selective Replication baseline at the given
+// replication level.
+func ASR(level float64) Scheme { return Scheme{Kind: "ASR", ASRLevel: level} }
+
+// LocalityAware returns the paper's protocol with replication threshold rt,
+// the Limited-3 classifier and cluster size 1 (the Table-1 defaults).
+func LocalityAware(rt int) Scheme {
+	return Scheme{Kind: "RT", RT: rt, ClassifierK: 3, ClusterSize: 1}
+}
+
+// Label renders the scheme the way the paper's figures do.
+func (s Scheme) Label() string {
+	if s.Kind == "RT" {
+		return fmt.Sprintf("RT-%d", s.RT)
+	}
+	return s.Kind
+}
+
+// Options configure a run.
+type Options struct {
+	// Cores overrides the core count (default 64; must be a square mesh:
+	// 16 or 64 are supported presets).
+	Cores int
+	// OpsScale scales per-core operation counts; 1.0 (default) is the
+	// profile's nominal length, smaller values speed up exploration.
+	OpsScale float64
+	// Seed selects the deterministic workload instance.
+	Seed uint64
+	// CheckInvariants enables the coherence correctness checker.
+	CheckInvariants bool
+	// TrackRuns collects the Figure-1 run-length histogram.
+	TrackRuns bool
+}
+
+// Result is the outcome of one run, in plain exportable types.
+type Result struct {
+	// Benchmark and Scheme identify the run.
+	Benchmark string
+	Scheme    string
+	// CompletionCycles is the parallel-region completion time.
+	CompletionCycles uint64
+	// TimeBreakdown maps §3.4 component names to per-core average cycles.
+	TimeBreakdown map[string]uint64
+	// EnergyPJ maps Figure-6 component names to picojoules.
+	EnergyPJ map[string]float64
+	// Misses maps miss-type names to access counts.
+	Misses map[string]uint64
+	// RunLengthShares maps "class bucket" (e.g. "shared-rw [>=10]") to the
+	// fraction of LLC accesses, when Options.TrackRuns was set.
+	RunLengthShares map[string]float64
+	// Ops is the total number of memory references executed.
+	Ops uint64
+}
+
+// EnergyTotalPJ returns the total dynamic energy of the run.
+func (r *Result) EnergyTotalPJ() float64 {
+	var t float64
+	for _, v := range r.EnergyPJ {
+		t += v
+	}
+	return t
+}
+
+// TotalTime returns the sum of the time-breakdown components (the average
+// per-core busy time).
+func (r *Result) TotalTime() uint64 {
+	var t uint64
+	for _, v := range r.TimeBreakdown {
+		t += v
+	}
+	return t
+}
+
+// Benchmarks returns the 21 benchmark names in figure order.
+func Benchmarks() []string { return trace.Names() }
+
+// Run simulates one benchmark under one scheme and returns the result.
+func Run(benchmark string, s Scheme, o Options) (*Result, error) {
+	prof, err := trace.ProfileByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	cfg, opt, err := buildConfig(s, o)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run(cfg, prof, opt)
+	return export(res), nil
+}
+
+// buildConfig translates the public Scheme/Options into the internal
+// configuration, validating the combination.
+func buildConfig(s Scheme, o Options) (*config.Config, sim.Options, error) {
+	var cfg *config.Config
+	switch o.Cores {
+	case 0, 64:
+		cfg = config.Default64()
+	case 16:
+		cfg = config.Small()
+	case 4:
+		cfg = config.Small()
+		cfg.Cores, cfg.MeshW, cfg.MeshH = 4, 2, 2
+		cfg.DRAMControllers = 2
+	default:
+		return nil, sim.Options{}, fmt.Errorf("lard: unsupported core count %d (use 4, 16 or 64)", o.Cores)
+	}
+	opt := sim.Options{
+		Seed:            o.Seed,
+		OpsScale:        o.OpsScale,
+		CheckInvariants: o.CheckInvariants,
+		TrackRuns:       o.TrackRuns,
+	}
+	switch s.Kind {
+	case "S-NUCA":
+		opt.Scheme = coherence.SNUCA
+	case "R-NUCA":
+		opt.Scheme = coherence.RNUCA
+	case "VR":
+		opt.Scheme = coherence.VR
+	case "ASR":
+		opt.Scheme = coherence.ASR
+		opt.ASRLevel = s.ASRLevel
+	case "RT":
+		opt.Scheme = coherence.LocalityAware
+		if s.RT > 0 {
+			cfg.RT = s.RT
+		}
+		cfg.ClassifierK = s.ClassifierK
+		if s.ClusterSize > 0 {
+			cfg.ClusterSize = s.ClusterSize
+		}
+	default:
+		return nil, sim.Options{}, fmt.Errorf("lard: unknown scheme kind %q", s.Kind)
+	}
+	if s.PlainLRU {
+		cfg.Replacement = config.PlainLRU
+	}
+	if s.TLH {
+		cfg.Replacement = config.TLHLRU
+	}
+	cfg.KeepL1OnReplicaEvict = s.KeepL1OnReplicaEvict
+	cfg.LookupOracle = s.LookupOracle
+	if err := cfg.Validate(); err != nil {
+		return nil, sim.Options{}, err
+	}
+	return cfg, opt, nil
+}
+
+// export converts the internal result to the public shape.
+func export(r *sim.Result) *Result {
+	out := &Result{
+		Benchmark:        r.Benchmark,
+		Scheme:           r.Scheme,
+		CompletionCycles: uint64(r.CompletionTime),
+		TimeBreakdown:    make(map[string]uint64, stats.NumTimeComponents),
+		EnergyPJ:         make(map[string]float64, energy.NumComponents),
+		Misses:           make(map[string]uint64, stats.NumMissTypes),
+		Ops:              r.Ops,
+	}
+	for i := 0; i < stats.NumTimeComponents; i++ {
+		out.TimeBreakdown[stats.TimeComponent(i).String()] = uint64(r.Time[i])
+	}
+	for i := 0; i < energy.NumComponents; i++ {
+		out.EnergyPJ[energy.Component(i).String()] = r.EnergyPJ[i]
+	}
+	for i := 0; i < stats.NumMissTypes; i++ {
+		out.Misses[stats.MissType(i).String()] = r.Miss[i]
+	}
+	if r.Runs != nil {
+		out.RunLengthShares = make(map[string]float64)
+		for c := 0; c < mem.NumDataClasses; c++ {
+			for b := 0; b < stats.NumRunBuckets; b++ {
+				key := fmt.Sprintf("%s %s", mem.DataClass(c), stats.RunBucket(b))
+				out.RunLengthShares[key] = r.Runs.Share(mem.DataClass(c), stats.RunBucket(b))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package lard_test
+
+import (
+	"math"
+	"testing"
+
+	"lard"
+)
+
+func run(t *testing.T, bench string, s lard.Scheme, o lard.Options) *lard.Result {
+	t.Helper()
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.OpsScale == 0 {
+		o.OpsScale = 0.05
+	}
+	res, err := lard.Run(bench, s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := lard.Benchmarks()
+	if len(bs) != 21 {
+		t.Fatalf("%d benchmarks, want 21", len(bs))
+	}
+}
+
+func TestSchemeConstructors(t *testing.T) {
+	cases := []struct {
+		s    lard.Scheme
+		want string
+	}{
+		{lard.SNUCA(), "S-NUCA"},
+		{lard.RNUCA(), "R-NUCA"},
+		{lard.VictimReplication(), "VR"},
+		{lard.ASR(0.5), "ASR"},
+		{lard.LocalityAware(3), "RT-3"},
+		{lard.LocalityAware(8), "RT-8"},
+	}
+	for _, c := range cases {
+		if got := c.s.Label(); got != c.want {
+			t.Errorf("Label = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := lard.Run("NOPE", lard.SNUCA(), lard.Options{}); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+	if _, err := lard.Run("BARNES", lard.Scheme{Kind: "BOGUS"}, lard.Options{}); err == nil {
+		t.Error("unknown scheme must error")
+	}
+	if _, err := lard.Run("BARNES", lard.SNUCA(), lard.Options{Cores: 7}); err == nil {
+		t.Error("unsupported core count must error")
+	}
+	if _, err := lard.Run("BARNES", lard.Scheme{Kind: "RT", RT: 3, ClassifierK: 99, ClusterSize: 1}, lard.Options{Cores: 16}); err == nil {
+		t.Error("invalid classifier k must error")
+	}
+}
+
+func TestResultShape(t *testing.T) {
+	res := run(t, "BARNES", lard.LocalityAware(3), lard.Options{CheckInvariants: true})
+	if res.Benchmark != "BARNES" || res.Scheme != "RT-3" {
+		t.Fatalf("labels %q/%q", res.Benchmark, res.Scheme)
+	}
+	if res.CompletionCycles == 0 || res.Ops == 0 {
+		t.Fatal("empty result")
+	}
+	if len(res.EnergyPJ) != 7 {
+		t.Fatalf("energy components = %d, want 7", len(res.EnergyPJ))
+	}
+	if len(res.TimeBreakdown) != 7 {
+		t.Fatalf("time components = %d, want 7", len(res.TimeBreakdown))
+	}
+	if len(res.Misses) != 4 {
+		t.Fatalf("miss types = %d, want 4", len(res.Misses))
+	}
+	if res.EnergyTotalPJ() <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if res.TotalTime() == 0 || res.TotalTime() > res.CompletionCycles {
+		t.Fatalf("TotalTime %d vs completion %d", res.TotalTime(), res.CompletionCycles)
+	}
+}
+
+func TestRunLengthShares(t *testing.T) {
+	res := run(t, "BARNES", lard.SNUCA(), lard.Options{TrackRuns: true, OpsScale: 0.1})
+	if res.RunLengthShares == nil {
+		t.Fatal("TrackRuns must export shares")
+	}
+	var sum float64
+	for _, v := range res.RunLengthShares {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	a := run(t, "FERRET", lard.LocalityAware(3), lard.Options{Seed: 11})
+	b := run(t, "FERRET", lard.LocalityAware(3), lard.Options{Seed: 11})
+	if a.CompletionCycles != b.CompletionCycles || a.EnergyTotalPJ() != b.EnergyTotalPJ() {
+		t.Fatal("facade runs must be deterministic")
+	}
+}
+
+func TestPlainLRUAndOracleKnobs(t *testing.T) {
+	s := lard.LocalityAware(3)
+	s.PlainLRU = true
+	r1 := run(t, "DEDUP", s, lard.Options{})
+	s2 := lard.LocalityAware(3)
+	s2.LookupOracle = true
+	r2 := run(t, "DEDUP", s2, lard.Options{})
+	if r1.CompletionCycles == 0 || r2.CompletionCycles == 0 {
+		t.Fatal("knob runs failed")
+	}
+}
+
+// TestBarnesOrdering is the paper's flagship qualitative result on a small
+// machine: for BARNES, the locality-aware protocol beats S-NUCA in both
+// time and energy, and beats VR in energy (§4.1).
+func TestBarnesOrdering(t *testing.T) {
+	o := lard.Options{Cores: 16, OpsScale: 0.5}
+	snuca := run(t, "BARNES", lard.SNUCA(), o)
+	vr := run(t, "BARNES", lard.VictimReplication(), o)
+	rt3 := run(t, "BARNES", lard.LocalityAware(3), o)
+	if rt3.CompletionCycles >= snuca.CompletionCycles {
+		t.Errorf("RT-3 (%d) must beat S-NUCA (%d) on BARNES",
+			rt3.CompletionCycles, snuca.CompletionCycles)
+	}
+	if rt3.EnergyTotalPJ() >= snuca.EnergyTotalPJ() {
+		t.Error("RT-3 must use less energy than S-NUCA on BARNES")
+	}
+	if rt3.EnergyTotalPJ() >= vr.EnergyTotalPJ() {
+		t.Error("RT-3 must use less energy than VR on BARNES (§4.1)")
+	}
+	if rt3.Misses["LLC-Replica-Hit"] == 0 {
+		t.Error("RT-3 must service BARNES misses from replicas")
+	}
+}
