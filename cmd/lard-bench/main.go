@@ -3,7 +3,11 @@
 // Usage:
 //
 //	lard-bench [-fig all|1|6|7|8|9|10|lru|oracle|headline] [-cores 64|16]
-//	           [-scale 1.0] [-seed 0] [-breakdown BENCH]
+//	           [-scale 1.0] [-seed 0] [-breakdown BENCH] [-store DIR]
+//
+// With -store, every simulation is cached in a content-addressed result
+// store: re-running a figure (or regenerating a different figure that
+// shares runs) reuses stored results instead of re-simulating.
 //
 // Each figure prints an aligned text table; EXPERIMENTS.md records the
 // paper-vs-measured comparison produced by this tool.
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"lard/internal/harness"
+	"lard/internal/resultstore"
 )
 
 func main() {
@@ -28,11 +33,17 @@ func main() {
 		breakdown = flag.String("breakdown", "", "also print per-component stacks for this benchmark")
 		par       = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
 		benchList = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		storeDir  = flag.String("store", "", "result store directory (empty = no caching)")
 	)
 	flag.Parse()
 	base := harness.Base{Cores: *cores, OpsScale: *scale, Seed: *seed, Parallelism: *par}
 	if *benchList != "" {
 		base.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *storeDir != "" {
+		st, err := resultstore.New(*storeDir)
+		fatal(err)
+		base.Store = st
 	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
@@ -95,6 +106,11 @@ func main() {
 		table, _, err := harness.OracleAblation(base)
 		fatal(err)
 		fmt.Println(table)
+	}
+	if base.Store != nil {
+		st := base.Store.Stats()
+		fmt.Fprintf(os.Stderr, "lard-bench: store: %d simulated, %d from memory, %d from disk, %d shared in flight\n",
+			st.Computes, st.MemHits, st.DiskHits, st.Shared)
 	}
 	fmt.Fprintf(os.Stderr, "lard-bench: done in %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,71 @@
+// Command lard-server runs the simulation service: an HTTP JSON job API
+// over the LLC simulator, backed by a content-addressed result store so a
+// given (benchmark, scheme, options) run is simulated at most once.
+//
+// Usage:
+//
+//	lard-server [-addr :8347] [-store DIR] [-workers N] [-queue N]
+//
+// An empty -store selects a memory-only store (results do not survive a
+// restart). See internal/server for the endpoint reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lard/internal/resultstore"
+	"lard/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8347", "listen address")
+		storeDir = flag.String("store", "lard-store", "result store directory (empty = memory only)")
+		workers  = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "pending-job queue depth (full queue answers 429)")
+	)
+	flag.Parse()
+
+	st, err := resultstore.New(*storeDir)
+	fatal(err)
+	svc, err := server.New(server.Config{Store: st, Workers: *workers, QueueDepth: *queue})
+	fatal(err)
+	svc.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "lard-server: listening on %s (store %q)\n", *addr, *storeDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "lard-server: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "lard-server: http shutdown:", err)
+	}
+	if err := svc.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "lard-server: worker shutdown:", err)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lard-server:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module lard
+
+go 1.24

@@ -13,6 +13,7 @@ import (
 
 	"lard/internal/coherence"
 	"lard/internal/config"
+	"lard/internal/resultstore"
 	"lard/internal/sim"
 	"lard/internal/trace"
 )
@@ -29,6 +30,21 @@ type Base struct {
 	Parallelism int
 	// Benchmarks restricts the benchmark set (nil = all 21).
 	Benchmarks []string
+	// Store, when non-nil, caches every simulation by its content address:
+	// repeated campaigns over the same (config, scheme, benchmark, seed,
+	// scale) reuse stored results instead of re-simulating.
+	Store *resultstore.Store
+}
+
+// simulate runs one fully-configured simulation, through the result store
+// when the campaign has one.
+func (b Base) simulate(cfg *config.Config, prof trace.Profile, opt sim.Options) (*sim.Result, error) {
+	if b.Store == nil {
+		return sim.Run(cfg, prof, opt), nil
+	}
+	res, _, err := b.Store.GetOrCompute(resultstore.SpecFor(prof.Name, cfg, opt),
+		func() (*sim.Result, error) { return sim.Run(cfg, prof, opt), nil })
+	return res, err
 }
 
 func (b Base) config() *config.Config {
@@ -100,13 +116,16 @@ func Run(base Base, bench string, v Variant) (*sim.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", bench, v.Label, err)
 	}
-	res := sim.Run(cfg, prof, sim.Options{
+	res, err := base.simulate(cfg, prof, sim.Options{
 		Scheme:    v.Scheme,
 		ASRLevel:  v.ASRLevel,
 		Seed:      base.Seed,
 		OpsScale:  base.OpsScale,
 		TrackRuns: v.TrackRuns,
 	})
+	if err != nil {
+		return nil, err
+	}
 	res.Scheme = v.Label
 	return res, nil
 }
@@ -114,17 +133,23 @@ func Run(base Base, bench string, v Variant) (*sim.Result, error) {
 // runAutoASR evaluates the five ASR replication levels and returns the run
 // with the lowest energy-delay product, as the paper's methodology does.
 func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
+	cfg := base.config()
+	applyVariant(cfg, v)
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", prof.Name, v.Label, err)
+	}
 	var best *sim.Result
 	bestEDP := 0.0
 	for _, level := range ASRLevels {
-		cfg := base.config()
-		applyVariant(cfg, v)
-		res := sim.Run(cfg, prof, sim.Options{
+		res, err := base.simulate(cfg, prof, sim.Options{
 			Scheme:   coherence.ASR,
 			ASRLevel: level,
 			Seed:     base.Seed,
 			OpsScale: base.OpsScale,
 		})
+		if err != nil {
+			return nil, err
+		}
 		edp := res.EnergyTotal() * float64(res.CompletionTime)
 		if best == nil || edp < bestEDP {
 			best, bestEDP = res, edp

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"lard/internal/coherence"
+	"lard/internal/resultstore"
 )
 
 // smallBase is a fast campaign configuration for tests.
@@ -67,6 +69,87 @@ func TestRunMatrixAndTables(t *testing.T) {
 	}
 	if tb := TimeBreakdownTable(m, "BARNES"); !strings.Contains(tb, "Synchronization") {
 		t.Error("time breakdown missing components")
+	}
+}
+
+// TestRunMatrixStoreReuse pins the campaign-caching contract: a matrix run
+// twice against the same store performs zero simulations the second time
+// and reproduces identical results.
+func TestRunMatrixStoreReuse(t *testing.T) {
+	st, err := resultstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := smallBase("DEDUP", "BARNES")
+	base.Store = st
+	// StandardVariants includes AutoASR, so the ASR column alone is five
+	// distinct simulations — all of which must cache too.
+	m1, err := RunMatrix(base, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	computes := st.Stats().Computes
+	if computes == 0 {
+		t.Fatal("first pass must simulate")
+	}
+
+	m2, err := RunMatrix(base, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Computes; got != computes {
+		t.Fatalf("second pass ran %d simulations, want 0", got-computes)
+	}
+	if !reflect.DeepEqual(m1.Results, m2.Results) {
+		t.Fatal("cached pass must reproduce identical results")
+	}
+
+	// A fresh process over the same store directory also reuses everything.
+	st2, err := resultstore.New(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Store = st2
+	m3, err := RunMatrix(base, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Stats().Computes; got != 0 {
+		t.Fatalf("disk-backed pass ran %d simulations, want 0", got)
+	}
+	if !reflect.DeepEqual(m1.Results, m3.Results) {
+		t.Fatal("disk round trip must reproduce identical results")
+	}
+}
+
+// TestRunMatrixStoreMatchesDirect verifies the store layer is transparent:
+// cached campaigns produce exactly what uncached ones do.
+func TestRunMatrixStoreMatchesDirect(t *testing.T) {
+	base := smallBase("BARNES")
+	direct, err := RunMatrix(base, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := resultstore.New("")
+	base.Store = st
+	stored, err := RunMatrix(base, StandardVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Results, stored.Results) {
+		t.Fatal("store-backed matrix must match the direct matrix")
+	}
+}
+
+// TestAutoASRValidatesConfig is a regression test: runAutoASR must reject
+// an invalid configuration exactly as the non-ASR path does, rather than
+// silently simulating it. The variant carries locality-aware config knobs
+// (which applyVariant maps onto the config) with an impossible cluster
+// size.
+func TestAutoASRValidatesConfig(t *testing.T) {
+	v := Variant{Label: "ASR", Scheme: coherence.LocalityAware, AutoASR: true, Cluster: 5}
+	if _, err := Run(smallBase("DEDUP"), "DEDUP", v); err == nil {
+		t.Fatal("AutoASR must reject an invalid config (ClusterSize 5 does not divide 16)")
 	}
 }
 

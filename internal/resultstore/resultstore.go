@@ -1,0 +1,331 @@
+// Package resultstore is a content-addressed cache of simulation results.
+//
+// A simulation is identified by a Spec — the complete set of inputs that
+// determine its outcome: the architectural configuration, the benchmark
+// name, and the run options (scheme, ASR level, seed, ops scale, tracking
+// flags). Because sim.Run is deterministic, a Spec's canonical hash is a
+// content address for its Result: the same key always denotes the same
+// bytes, so a result computed once never needs to be computed again.
+//
+// The store layers three mechanisms:
+//
+//   - an in-memory map for results seen this process,
+//   - an optional on-disk JSON backend (one file per key under a store
+//     directory) that persists results across processes, and
+//   - singleflight deduplication: concurrent GetOrCompute calls for the
+//     same key share one computation instead of racing to duplicate it.
+//
+// Callers receive private clones, so mutating a returned Result (for
+// example relabeling its Scheme) never corrupts the cache.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"lard/internal/config"
+	"lard/internal/sim"
+)
+
+// keyVersion is folded into every hash so that future changes to the Spec
+// shape or the Result encoding can never alias old store entries.
+const keyVersion = "lard-result-v1"
+
+// Spec is the complete, canonical description of one simulation run: every
+// input that can change the result, and nothing else.
+type Spec struct {
+	// Benchmark is the workload profile name.
+	Benchmark string `json:"benchmark"`
+	// Config is the full architectural configuration, by value.
+	Config config.Config `json:"config"`
+	// Options are the run options (scheme, ASR level, seed, ops scale).
+	Options sim.Options `json:"options"`
+}
+
+// SpecFor builds the canonical Spec for simulating benchmark bench on cfg
+// with opt. It normalizes defaulted fields (OpsScale 0 means 1.0, exactly
+// as sim.Run treats it) so equivalent requests share one address.
+func SpecFor(bench string, cfg *config.Config, opt sim.Options) Spec {
+	if opt.OpsScale == 0 {
+		opt.OpsScale = 1
+	}
+	return Spec{Benchmark: bench, Config: *cfg, Options: opt}
+}
+
+// Key returns the spec's content address: a hex SHA-256 of the versioned
+// canonical JSON encoding. Struct fields encode in declaration order and
+// the Spec contains no maps, so the encoding — and therefore the key — is
+// byte-stable across processes.
+func (s Spec) Key() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec contains only scalar fields; Marshal cannot fail.
+		panic(fmt.Sprintf("resultstore: marshal spec: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(keyVersion))
+	h.Write([]byte{'\n'})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts store traffic. Computes is the number of times a compute
+// callback actually ran — the store's cache-effectiveness ground truth.
+type Stats struct {
+	// MemHits and DiskHits count Get/GetOrCompute calls served from the
+	// in-memory map and the disk backend respectively.
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	// Misses counts GetOrCompute lookups that found nothing in either
+	// layer and went on to compute. Plain Get misses are not counted, so a
+	// peek-then-compute caller (the server's POST fast path) does not
+	// double-count one logical miss.
+	Misses uint64 `json:"misses"`
+	// Computes counts compute callbacks executed (singleflight leaders).
+	Computes uint64 `json:"computes"`
+	// Shared counts GetOrCompute callers that piggybacked on another
+	// caller's in-flight computation instead of running their own.
+	Shared uint64 `json:"shared"`
+	// CorruptEntries counts on-disk entries that failed to decode and were
+	// treated as misses (the next compute overwrites them).
+	CorruptEntries uint64 `json:"corrupt_entries"`
+}
+
+// entry is the on-disk envelope: the spec is stored alongside the result so
+// a store directory is self-describing and auditable.
+type entry struct {
+	Key    string      `json:"key"`
+	Spec   Spec        `json:"spec"`
+	Result *sim.Result `json:"result"`
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// Store is a content-addressed result cache. The zero value is not usable;
+// call New. A Store is safe for concurrent use.
+type Store struct {
+	dir string // "" = memory only
+
+	mu    sync.Mutex
+	mem   map[string]*sim.Result
+	calls map[string]*call
+	stats Stats
+}
+
+// New opens a store. dir is the on-disk backend directory, created if
+// missing; an empty dir selects a memory-only store.
+func New(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+	}
+	return &Store{
+		dir:   dir,
+		mem:   make(map[string]*sim.Result),
+		calls: make(map[string]*call),
+	}, nil
+}
+
+// Dir returns the disk backend directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len returns the number of results resident in memory.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// path returns the entry file for key, sharded by the first hash byte so no
+// single directory grows unboundedly.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result for spec, or (nil, false) on a miss.
+func (s *Store) Get(spec Spec) (*sim.Result, bool, error) {
+	key := spec.Key()
+	s.mu.Lock()
+	if r, ok := s.mem[key]; ok {
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return r.Clone(), true, nil
+	}
+	s.mu.Unlock()
+
+	r, err := s.readDisk(key)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r == nil {
+		return nil, false, nil
+	}
+	s.stats.DiskHits++
+	s.mem[key] = r
+	return r.Clone(), true, nil
+}
+
+// Put stores a result for spec, overwriting any previous entry.
+func (s *Store) Put(spec Spec, r *sim.Result) error {
+	key := spec.Key()
+	c := r.Clone()
+	s.mu.Lock()
+	s.mem[key] = c
+	s.mu.Unlock()
+	return s.writeDisk(key, spec, c)
+}
+
+// GetOrCompute returns the cached result for spec, computing and storing it
+// on a miss. Concurrent calls for the same key share one computation: the
+// first caller runs compute, the rest block until it finishes and receive
+// the same outcome. The returned bool reports whether the result was served
+// from cache (memory or disk) rather than computed by this call graph.
+func (s *Store) GetOrCompute(spec Spec, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
+	key := spec.Key()
+
+	s.mu.Lock()
+	if r, ok := s.mem[key]; ok {
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return r.Clone(), true, nil
+	}
+	if c, ok := s.calls[key]; ok {
+		s.stats.Shared++
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		return c.res.Clone(), false, nil
+	}
+	c := &call{done: make(chan struct{})}
+	s.calls[key] = c
+	s.mu.Unlock()
+
+	r, hit, err := s.leader(key, spec, compute)
+	c.res, c.err = r, err
+	s.mu.Lock()
+	delete(s.calls, key)
+	s.mu.Unlock()
+	close(c.done)
+	if err != nil {
+		return nil, false, err
+	}
+	return r.Clone(), hit, nil
+}
+
+// leader runs the miss path of GetOrCompute for the singleflight winner:
+// consult disk, else compute and persist.
+func (s *Store) leader(key string, spec Spec, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
+	r, err := s.readDisk(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if r != nil {
+		s.mu.Lock()
+		s.stats.DiskHits++
+		s.mem[key] = r
+		s.mu.Unlock()
+		return r, true, nil
+	}
+
+	s.mu.Lock()
+	s.stats.Misses++
+	s.stats.Computes++
+	s.mu.Unlock()
+	r, err = compute()
+	if err != nil {
+		return nil, false, err
+	}
+	c := r.Clone()
+	s.mu.Lock()
+	s.mem[key] = c
+	s.mu.Unlock()
+	if err := s.writeDisk(key, spec, c); err != nil {
+		return nil, false, err
+	}
+	return c, false, nil
+}
+
+// readDisk loads the entry for key from the disk backend, returning nil on
+// a miss (or when the store is memory-only). An entry that fails to decode
+// is treated as a miss, not an error: the key stays computable and the next
+// write atomically replaces the damaged file. Real I/O failures still
+// surface as errors.
+func (s *Store) readDisk(key string) (*sim.Result, error) {
+	if s.dir == "" {
+		return nil, nil
+	}
+	b, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: read %s: %w", key, err)
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key || e.Result == nil {
+		s.mu.Lock()
+		s.stats.CorruptEntries++
+		s.mu.Unlock()
+		return nil, nil
+	}
+	return e.Result, nil
+}
+
+// writeDisk persists an entry atomically (temp file + rename) so concurrent
+// writers and crashed processes can never leave a torn entry behind. The
+// encoding is deterministic: Result holds only fixed-size arrays and
+// scalars, so the same key always produces byte-identical files.
+func (s *Store) writeDisk(key string, spec Spec, r *sim.Result) error {
+	if s.dir == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(entry{Key: key, Spec: spec, Result: r}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("resultstore: encode %s: %w", key, err)
+	}
+	b = append(b, '\n')
+	dir := filepath.Dir(s.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: commit %s: %w", key, err)
+	}
+	return nil
+}

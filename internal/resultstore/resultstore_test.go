@@ -1,0 +1,245 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lard/internal/config"
+	"lard/internal/mem"
+	"lard/internal/sim"
+	"lard/internal/stats"
+	"lard/internal/trace"
+)
+
+// spec returns a small canonical spec, tweaked by seed.
+func spec(seed uint64) Spec {
+	return SpecFor("BARNES", config.Small(), sim.Options{Seed: seed, OpsScale: 0.02})
+}
+
+// fakeResult builds a distinguishable result.
+func fakeResult(cycles uint64) *sim.Result {
+	return &sim.Result{
+		Benchmark:      "BARNES",
+		Scheme:         "S-NUCA",
+		Cores:          16,
+		Ops:            1000,
+		CompletionTime: mem.Cycles(cycles),
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	a, b := spec(1), spec(1)
+	if a.Key() != b.Key() {
+		t.Fatal("identical specs must share a key")
+	}
+	if spec(1).Key() == spec(2).Key() {
+		t.Fatal("different seeds must produce different keys")
+	}
+	// OpsScale 0 normalizes to 1, exactly as sim.Run treats it.
+	z := SpecFor("BARNES", config.Small(), sim.Options{})
+	o := SpecFor("BARNES", config.Small(), sim.Options{OpsScale: 1})
+	if z.Key() != o.Key() {
+		t.Fatal("OpsScale 0 and 1 must share a key")
+	}
+	// Config changes change the key.
+	cfg := config.Small()
+	cfg.RT = 8
+	if SpecFor("BARNES", cfg, sim.Options{}).Key() == o.Key() {
+		t.Fatal("config changes must change the key")
+	}
+}
+
+// TestDeterministicFiles pins the content-address contract: storing the
+// result of the same key twice yields byte-identical files.
+func TestDeterministicFiles(t *testing.T) {
+	sp := spec(1)
+	prof, err := trace.ProfileByName("BARNES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(&sp.Config, prof, sp.Options)
+
+	read := func(dir string) []byte {
+		t.Helper()
+		st, err := New(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(sp, res); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(st.path(sp.Key()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := read(filepath.Join(t.TempDir(), "a"))
+	b := read(filepath.Join(t.TempDir(), "b"))
+	if string(a) != string(b) {
+		t.Fatal("same key must store byte-identical files")
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	st, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec(1)
+	if _, ok, err := st.Get(sp); err != nil || ok {
+		t.Fatalf("empty store Get = %v, %v", ok, err)
+	}
+	want := fakeResult(7)
+	want.Runs = &stats.RunLengthHist{}
+	want.Runs[1][2] = 42
+	if err := st.Put(sp, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(sp)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = %v, %v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The returned result is a private clone.
+	got.Scheme = "MUTATED"
+	got.Runs[1][2] = 0
+	again, _, _ := st.Get(sp)
+	if again.Scheme == "MUTATED" || again.Runs[1][2] != 42 {
+		t.Fatal("mutating a returned result must not corrupt the cache")
+	}
+}
+
+// TestDiskPersistence verifies a second store over the same directory sees
+// the first store's results (disk hit, no compute).
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := New(dir)
+	sp := spec(3)
+	computes := 0
+	if _, cached, err := st1.GetOrCompute(sp, func() (*sim.Result, error) {
+		computes++
+		return fakeResult(1), nil
+	}); err != nil || cached {
+		t.Fatalf("first compute: cached=%v err=%v", cached, err)
+	}
+
+	st2, _ := New(dir)
+	res, cached, err := st2.GetOrCompute(sp, func() (*sim.Result, error) {
+		computes++
+		return fakeResult(2), nil
+	})
+	if err != nil || !cached {
+		t.Fatalf("second store: cached=%v err=%v", cached, err)
+	}
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1", computes)
+	}
+	if res == nil || res.Benchmark != "BARNES" {
+		t.Fatalf("bad persisted result %+v", res)
+	}
+	if s := st2.Stats(); s.DiskHits != 1 || s.Computes != 0 {
+		t.Fatalf("stats = %+v, want one disk hit and zero computes", s)
+	}
+}
+
+// TestSingleflight pins the deduplication contract: N concurrent identical
+// requests run exactly one computation.
+func TestSingleflight(t *testing.T) {
+	st, _ := New("") // memory-only
+	sp := spec(4)
+	const n = 32
+	var (
+		computes atomic.Int64
+		release  = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _, err := st.GetOrCompute(sp, func() (*sim.Result, error) {
+				computes.Add(1)
+				<-release // hold the leader so every follower piles up
+				return fakeResult(9), nil
+			})
+			if err != nil || res == nil {
+				t.Errorf("GetOrCompute: %v", err)
+			}
+		}()
+	}
+	// Let every follower attach to the in-flight call, then release the
+	// leader.
+	for st.Stats().Shared < n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if c := computes.Load(); c != 1 {
+		t.Fatalf("computes = %d, want 1 (singleflight)", c)
+	}
+	if s := st.Stats(); s.Shared != n-1 || s.Computes != 1 {
+		t.Fatalf("stats = %+v, want %d shared / 1 compute", s, n-1)
+	}
+}
+
+// TestCorruptEntryRecovers pins the self-healing contract: a damaged entry
+// file is a miss, not a poison pill — the key recomputes and the next write
+// replaces the file.
+func TestCorruptEntryRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := New(dir)
+	sp := spec(5)
+	if err := st.Put(sp, fakeResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path(sp.Key()), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := New(dir)
+	if _, ok, err := st2.Get(sp); err != nil || ok {
+		t.Fatalf("corrupt entry must read as a miss, got ok=%v err=%v", ok, err)
+	}
+	res, cached, err := st2.GetOrCompute(sp, func() (*sim.Result, error) { return fakeResult(2), nil })
+	if err != nil || cached || res.CompletionTime != 2 {
+		t.Fatalf("recompute over corrupt entry: cached=%v err=%v res=%+v", cached, err, res)
+	}
+	if s := st2.Stats(); s.CorruptEntries == 0 {
+		t.Fatalf("corruption must be counted, stats %+v", s)
+	}
+	// The overwrite healed the file for future stores.
+	st3, _ := New(dir)
+	healed, ok, err := st3.Get(sp)
+	if err != nil || !ok || healed.CompletionTime != 2 {
+		t.Fatalf("healed entry: ok=%v err=%v res=%+v", ok, err, healed)
+	}
+}
+
+// TestEnvelopeIsSelfDescribing checks the on-disk format records the spec
+// next to the result.
+func TestEnvelopeIsSelfDescribing(t *testing.T) {
+	st, _ := New(t.TempDir())
+	sp := spec(6)
+	if err := st.Put(sp, fakeResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(st.path(sp.Key()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Key != sp.Key() || e.Spec.Benchmark != "BARNES" || e.Result == nil {
+		t.Fatalf("envelope incomplete: %+v", e)
+	}
+}

@@ -1,0 +1,448 @@
+// Package server exposes the LLC simulator as an HTTP JSON service: an
+// asynchronous job API over a content-addressed result store.
+//
+// Endpoints:
+//
+//	POST /v1/runs        submit a run; 200 + result on a store hit,
+//	                     202 + job on a miss, 429 when the queue is full
+//	GET  /v1/runs/{id}   poll a job (the id is the run's content address)
+//	GET  /v1/benchmarks  list the benchmark names
+//	GET  /healthz        liveness probe
+//	GET  /stats          store, queue and job counters
+//
+// Jobs are content-addressed: a run's job id IS its canonical store key,
+// so resubmitting an identical request while it is queued or running
+// attaches to the existing job instead of enqueueing a duplicate, and
+// resubmitting after completion is served straight from the store. A
+// bounded worker pool executes jobs; when its queue is full the server
+// sheds load with 429 rather than buffering unboundedly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"lard"
+	"lard/internal/resultstore"
+)
+
+// RunFunc executes one simulation through a store. It is a seam for tests;
+// production servers use lard.RunWithStore.
+type RunFunc func(st *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options) (*lard.Result, bool, error)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the backing result store (required).
+	Store *resultstore.Store
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 2x Workers);
+	// submissions beyond it are rejected with 429.
+	QueueDepth int
+	// Run overrides the simulation function (tests only).
+	Run RunFunc
+	// MaxCompletedJobs bounds the registry of finished jobs (default
+	// maxCompletedJobs). Results live on in the store — an evicted id
+	// answers 404 on GET, but resubmitting the same request body is served
+	// from the store — so the registry only needs to cover polling windows.
+	MaxCompletedJobs int
+}
+
+// Job states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// RunRequest is the POST /v1/runs body.
+type RunRequest struct {
+	Benchmark string       `json:"benchmark"`
+	Scheme    lard.Scheme  `json:"scheme"`
+	Options   lard.Options `json:"options"`
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID        string `json:"id"`
+	Benchmark string `json:"benchmark"`
+	Scheme    string `json:"scheme"`
+	Status    string `json:"status"`
+	// Cached reports whether the result was served from the store rather
+	// than simulated for this job.
+	Cached bool         `json:"cached"`
+	Result *lard.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// job is the internal job record; its mutable fields are guarded by the
+// server mutex.
+type job struct {
+	id     string
+	req    RunRequest
+	status string
+	cached bool
+	result *lard.Result
+	err    string
+}
+
+// maxCompletedJobs is the default bound on the finished-job registry.
+const maxCompletedJobs = 4096
+
+// Server is the run service. Create with New, start the worker pool with
+// Start, serve Handler over HTTP, and stop with Shutdown.
+type Server struct {
+	store   *resultstore.Store
+	run     RunFunc
+	workers int
+	maxDone int
+	mux     *http.ServeMux
+
+	queue chan *job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	done    []*job // completed jobs, oldest first, for eviction
+	closing bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	run := cfg.Run
+	if run == nil {
+		run = lard.RunWithStore
+	}
+	maxDone := cfg.MaxCompletedJobs
+	if maxDone <= 0 {
+		maxDone = maxCompletedJobs
+	}
+	s := &Server{
+		store:   cfg.Store,
+		run:     run,
+		workers: workers,
+		maxDone: maxDone,
+		queue:   make(chan *job, depth),
+		stop:    make(chan struct{}),
+		jobs:    make(map[string]*job),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops the service gracefully: new submissions are refused,
+// workers finish their in-flight simulations, and still-queued jobs are
+// failed. It returns ctx.Err() if the workers outlive the context.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// Workers are gone; fail whatever never got picked up.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, nil, false, errors.New("server shutting down"))
+		default:
+			return nil
+		}
+	}
+}
+
+// worker executes queued jobs until Shutdown. Go selects ready channels at
+// random, so a job dequeued concurrently with the stop signal is re-checked
+// against it before running: once Shutdown begins no new simulation starts,
+// and still-queued jobs fail deterministically instead of racing the drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			select {
+			case <-s.stop:
+				s.finish(j, nil, false, errors.New("server shutting down"))
+				return
+			default:
+			}
+			s.mu.Lock()
+			j.status = StatusRunning
+			s.mu.Unlock()
+			res, cached, err := s.run(s.store, j.req.Benchmark, j.req.Scheme, j.req.Options)
+			s.finish(j, res, cached, err)
+		}
+	}
+}
+
+// finish records a job outcome.
+func (s *Server) finish(j *job, res *lard.Result, cached bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		j.status, j.err = StatusFailed, err.Error()
+	} else {
+		j.status, j.cached, j.result = StatusDone, cached, res
+	}
+	s.completedLocked(j)
+}
+
+// completedLocked enrolls a finished job for eviction and trims the
+// registry to maxCompletedJobs so a long-lived server's memory stays
+// bounded. Callers hold s.mu.
+func (s *Server) completedLocked(j *job) {
+	s.done = append(s.done, j)
+	for len(s.done) > s.maxDone {
+		old := s.done[0]
+		s.done = s.done[1:]
+		// The id may since have been re-enqueued (failed retry) or taken by
+		// a newer job; only evict the record this enrollment refers to, and
+		// only while it is still terminal.
+		if cur, ok := s.jobs[old.id]; ok && cur == old &&
+			(old.status == StatusDone || old.status == StatusFailed) {
+			delete(s.jobs, old.id)
+		}
+	}
+}
+
+// view renders a job, taking the server mutex.
+func (s *Server) view(j *job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return viewOf(j)
+}
+
+// viewOf renders a job; the caller must hold s.mu (or otherwise own j).
+func viewOf(j *job) JobView {
+	return JobView{
+		ID:        j.id,
+		Benchmark: j.req.Benchmark,
+		Scheme:    j.req.Scheme.Label(),
+		Status:    j.status,
+		Cached:    j.cached,
+		Result:    j.result,
+		Error:     j.err,
+	}
+}
+
+// handleSubmit implements POST /v1/runs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	key, err := lard.KeyFor(req.Benchmark, req.Scheme, req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
+		return
+	}
+	if j, ok := s.jobs[key]; ok {
+		code, view, err := s.resubmitLocked(j)
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, code, err)
+			return
+		}
+		writeJSON(w, code, view)
+		return
+	}
+	s.mu.Unlock()
+
+	// Fast path: a previously computed run answers synchronously, without
+	// touching the queue or the simulator.
+	res, hit, err := lard.LookupStored(s.store, req.Benchmark, req.Scheme, req.Options)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	s.mu.Lock()
+	// Re-check closing: Shutdown may have drained the queue while we were
+	// off the lock doing the store lookup — enqueueing now would strand the
+	// job in "queued" forever.
+	if s.closing {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
+		return
+	}
+	if prev, raced := s.jobs[key]; raced {
+		code, view, err := s.resubmitLocked(prev)
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, code, err)
+			return
+		}
+		writeJSON(w, code, view)
+		return
+	}
+	if hit {
+		j := &job{id: key, req: req, status: StatusDone, cached: true, result: res}
+		s.jobs[key] = j
+		s.completedLocked(j)
+		view := viewOf(j)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	j := &job{id: key, req: req, status: StatusQueued}
+	select {
+	case s.queue <- j:
+		s.jobs[key] = j
+		view := viewOf(j)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, view)
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, errors.New("run queue is full, retry later"))
+	}
+}
+
+// resubmitLocked answers a POST whose content address already has a job.
+// Completed jobs are re-served as cache hits (200), pending ones attached
+// to (202), and failed ones re-enqueued for retry. Callers hold s.mu.
+func (s *Server) resubmitLocked(j *job) (int, JobView, error) {
+	switch j.status {
+	case StatusDone:
+		// Whatever the job's own history, *this* request is served without
+		// simulating: a cache hit.
+		view := viewOf(j)
+		view.Cached = true
+		return http.StatusOK, view, nil
+	case StatusFailed:
+		select {
+		case s.queue <- j:
+			j.status, j.err = StatusQueued, ""
+			return http.StatusAccepted, viewOf(j), nil
+		default:
+			return http.StatusTooManyRequests, JobView{}, errors.New("run queue is full, retry later")
+		}
+	default:
+		return http.StatusAccepted, viewOf(j), nil
+	}
+}
+
+// handleGet implements GET /v1/runs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j))
+}
+
+// handleBenchmarks implements GET /v1/benchmarks.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": lard.Benchmarks()})
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsView is the GET /stats body.
+type statsView struct {
+	Workers      int               `json:"workers"`
+	QueueLen     int               `json:"queue_len"`
+	QueueCap     int               `json:"queue_cap"`
+	Jobs         map[string]int    `json:"jobs"`
+	Store        resultstore.Stats `json:"store"`
+	StoreEntries int               `json:"store_entries"`
+	StoreDir     string            `json:"store_dir,omitempty"`
+}
+
+// handleStats implements GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	counts := map[string]int{StatusQueued: 0, StatusRunning: 0, StatusDone: 0, StatusFailed: 0}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		counts[j.status]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsView{
+		Workers:      s.workers,
+		QueueLen:     len(s.queue),
+		QueueCap:     cap(s.queue),
+		Jobs:         counts,
+		Store:        s.store.Stats(),
+		StoreEntries: s.store.Len(),
+		StoreDir:     s.store.Dir(),
+	})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -59,6 +59,18 @@ type Result struct {
 	PageReclassifications uint64
 }
 
+// Clone returns an independent deep copy: mutating the clone (for example
+// relabeling Scheme) never affects r. Result is a value struct except for
+// the optional Runs histogram, which is copied.
+func (r *Result) Clone() *Result {
+	c := *r
+	if r.Runs != nil {
+		h := *r.Runs
+		c.Runs = &h
+	}
+	return &c
+}
+
 // EnergyTotal returns the total dynamic energy in picojoules.
 func (r *Result) EnergyTotal() float64 {
 	var t float64

@@ -25,6 +25,7 @@ import (
 	"lard/internal/config"
 	"lard/internal/energy"
 	"lard/internal/mem"
+	"lard/internal/resultstore"
 	"lard/internal/sim"
 	"lard/internal/stats"
 	"lard/internal/trace"
@@ -34,26 +35,26 @@ import (
 // is not valid; use one of the constructors.
 type Scheme struct {
 	// Kind is one of "S-NUCA", "R-NUCA", "VR", "ASR", "RT".
-	Kind string
+	Kind string `json:"kind"`
 	// RT is the replication threshold of the locality-aware protocol.
-	RT int
+	RT int `json:"rt,omitempty"`
 	// ClassifierK selects the Limited-k classifier (0 = Complete).
-	ClassifierK int
+	ClassifierK int `json:"classifier_k,omitempty"`
 	// ClusterSize is the replication cluster size (1, 4, 16 or 64).
-	ClusterSize int
+	ClusterSize int `json:"cluster_size,omitempty"`
 	// ASRLevel is ASR's replication probability (0, .25, .5, .75, 1).
-	ASRLevel float64
+	ASRLevel float64 `json:"asr_level,omitempty"`
 	// PlainLRU replaces the paper's modified-LRU LLC replacement policy
 	// with traditional LRU (the §4.2 ablation).
-	PlainLRU bool
+	PlainLRU bool `json:"plain_lru,omitempty"`
 	// TLH replaces the replacement policy with the temporal-locality-hint
 	// LRU alternative §2.2.4 cites.
-	TLH bool
+	TLH bool `json:"tlh,omitempty"`
 	// KeepL1OnReplicaEvict enables the §2.2.3 strategy the paper rejected:
 	// replica eviction leaves the L1 copy valid.
-	KeepL1OnReplicaEvict bool
+	KeepL1OnReplicaEvict bool `json:"keep_l1_on_replica_evict,omitempty"`
 	// LookupOracle enables the §2.3.2 perfect local-lookup oracle.
-	LookupOracle bool
+	LookupOracle bool `json:"lookup_oracle,omitempty"`
 }
 
 // SNUCA returns the Static-NUCA baseline.
@@ -87,36 +88,36 @@ func (s Scheme) Label() string {
 type Options struct {
 	// Cores overrides the core count (default 64; must be a square mesh:
 	// 16 or 64 are supported presets).
-	Cores int
+	Cores int `json:"cores,omitempty"`
 	// OpsScale scales per-core operation counts; 1.0 (default) is the
 	// profile's nominal length, smaller values speed up exploration.
-	OpsScale float64
+	OpsScale float64 `json:"ops_scale,omitempty"`
 	// Seed selects the deterministic workload instance.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// CheckInvariants enables the coherence correctness checker.
-	CheckInvariants bool
+	CheckInvariants bool `json:"check_invariants,omitempty"`
 	// TrackRuns collects the Figure-1 run-length histogram.
-	TrackRuns bool
+	TrackRuns bool `json:"track_runs,omitempty"`
 }
 
 // Result is the outcome of one run, in plain exportable types.
 type Result struct {
 	// Benchmark and Scheme identify the run.
-	Benchmark string
-	Scheme    string
+	Benchmark string `json:"benchmark"`
+	Scheme    string `json:"scheme"`
 	// CompletionCycles is the parallel-region completion time.
-	CompletionCycles uint64
+	CompletionCycles uint64 `json:"completion_cycles"`
 	// TimeBreakdown maps §3.4 component names to per-core average cycles.
-	TimeBreakdown map[string]uint64
+	TimeBreakdown map[string]uint64 `json:"time_breakdown"`
 	// EnergyPJ maps Figure-6 component names to picojoules.
-	EnergyPJ map[string]float64
+	EnergyPJ map[string]float64 `json:"energy_pj"`
 	// Misses maps miss-type names to access counts.
-	Misses map[string]uint64
+	Misses map[string]uint64 `json:"misses"`
 	// RunLengthShares maps "class bucket" (e.g. "shared-rw [>=10]") to the
 	// fraction of LLC accesses, when Options.TrackRuns was set.
-	RunLengthShares map[string]float64
+	RunLengthShares map[string]float64 `json:"run_length_shares,omitempty"`
 	// Ops is the total number of memory references executed.
-	Ops uint64
+	Ops uint64 `json:"ops"`
 }
 
 // EnergyTotalPJ returns the total dynamic energy of the run.
@@ -143,16 +144,70 @@ func Benchmarks() []string { return trace.Names() }
 
 // Run simulates one benchmark under one scheme and returns the result.
 func Run(benchmark string, s Scheme, o Options) (*Result, error) {
-	prof, err := trace.ProfileByName(benchmark)
-	if err != nil {
-		return nil, err
-	}
-	cfg, opt, err := buildConfig(s, o)
+	prof, cfg, opt, _, err := plan(benchmark, s, o)
 	if err != nil {
 		return nil, err
 	}
 	res := sim.Run(cfg, prof, opt)
 	return export(res), nil
+}
+
+// plan resolves (benchmark, s, o) into everything a store-backed run
+// needs: the workload profile, the validated configuration and options,
+// and the canonical spec. Keeping this in one place guarantees KeyFor,
+// LookupStored and RunWithStore can never disagree about a run's address.
+func plan(benchmark string, s Scheme, o Options) (trace.Profile, *config.Config, sim.Options, resultstore.Spec, error) {
+	prof, err := trace.ProfileByName(benchmark)
+	if err != nil {
+		return trace.Profile{}, nil, sim.Options{}, resultstore.Spec{}, err
+	}
+	cfg, opt, err := buildConfig(s, o)
+	if err != nil {
+		return trace.Profile{}, nil, sim.Options{}, resultstore.Spec{}, err
+	}
+	return prof, cfg, opt, resultstore.SpecFor(benchmark, cfg, opt), nil
+}
+
+// KeyFor returns the canonical content address of (benchmark, s, o): the
+// key under which a result store caches this run. Two requests have the
+// same key exactly when they are guaranteed to produce the same Result.
+func KeyFor(benchmark string, s Scheme, o Options) (string, error) {
+	_, _, _, spec, err := plan(benchmark, s, o)
+	if err != nil {
+		return "", err
+	}
+	return spec.Key(), nil
+}
+
+// LookupStored peeks at a result store: it returns the stored result for
+// (benchmark, s, o) if one exists, without ever simulating.
+func LookupStored(st *resultstore.Store, benchmark string, s Scheme, o Options) (*Result, bool, error) {
+	_, _, _, spec, err := plan(benchmark, s, o)
+	if err != nil {
+		return nil, false, err
+	}
+	res, ok, err := st.Get(spec)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return export(res), true, nil
+}
+
+// RunWithStore is Run backed by a result store: a previously computed
+// (benchmark, scheme, options) run is served from the store without
+// simulating, and a fresh run is stored before returning. The bool reports
+// whether the result came from cache.
+func RunWithStore(st *resultstore.Store, benchmark string, s Scheme, o Options) (*Result, bool, error) {
+	prof, cfg, opt, spec, err := plan(benchmark, s, o)
+	if err != nil {
+		return nil, false, err
+	}
+	res, cached, err := st.GetOrCompute(spec,
+		func() (*sim.Result, error) { return sim.Run(cfg, prof, opt), nil })
+	if err != nil {
+		return nil, false, err
+	}
+	return export(res), cached, nil
 }
 
 // buildConfig translates the public Scheme/Options into the internal

@@ -1,0 +1,127 @@
+package lard_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"lard"
+	"lard/internal/resultstore"
+)
+
+// TestResultJSONRoundTrip pins the wire contract: a Result encodes to JSON
+// and back without loss, and the encoding is deterministic (map keys sort),
+// so stored results are byte-stable.
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := run(t, "BARNES", lard.LocalityAware(3), lard.Options{TrackRuns: true, OpsScale: 0.05})
+	b1, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back lard.Result
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, res) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", &back, res)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("Result encoding must be deterministic")
+	}
+}
+
+// TestSchemeOptionsJSONRoundTrip does the same for the request types the
+// HTTP API exchanges.
+func TestSchemeOptionsJSONRoundTrip(t *testing.T) {
+	s := lard.Scheme{Kind: "RT", RT: 8, ClassifierK: 5, ClusterSize: 4,
+		PlainLRU: true, LookupOracle: true}
+	o := lard.Options{Cores: 16, OpsScale: 0.25, Seed: 42, TrackRuns: true}
+	var s2 lard.Scheme
+	var o2 lard.Options
+	sb, _ := json.Marshal(s)
+	ob, _ := json.Marshal(o)
+	if err := json.Unmarshal(sb, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(ob, &o2); err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s || o2 != o {
+		t.Fatalf("round trip mismatch: %+v %+v", s2, o2)
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	o := lard.Options{Cores: 16, OpsScale: 0.05}
+	k1, err := lard.KeyFor("BARNES", lard.LocalityAware(3), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := lard.KeyFor("BARNES", lard.LocalityAware(3), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || len(k1) != 64 {
+		t.Fatalf("key must be a stable 64-hex address, got %q / %q", k1, k2)
+	}
+	k3, _ := lard.KeyFor("BARNES", lard.LocalityAware(8), o)
+	if k3 == k1 {
+		t.Fatal("different schemes must produce different keys")
+	}
+	if _, err := lard.KeyFor("NOPE", lard.SNUCA(), o); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if _, err := lard.KeyFor("BARNES", lard.Scheme{Kind: "BOGUS"}, o); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+// TestRunWithStore pins the facade-level caching contract: the second
+// identical run is served from the store, identical to the first, without
+// simulating.
+func TestRunWithStore(t *testing.T) {
+	st, err := resultstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, o := lard.LocalityAware(3), lard.Options{Cores: 16, OpsScale: 0.02}
+
+	if _, ok, err := lard.LookupStored(st, "BARNES", s, o); err != nil || ok {
+		t.Fatalf("empty store lookup = %v, %v", ok, err)
+	}
+	r1, cached, err := lard.RunWithStore(st, "BARNES", s, o)
+	if err != nil || cached {
+		t.Fatalf("first run: cached=%v err=%v", cached, err)
+	}
+	if got := st.Stats().Computes; got != 1 {
+		t.Fatalf("computes = %d, want 1", got)
+	}
+
+	r2, cached, err := lard.RunWithStore(st, "BARNES", s, o)
+	if err != nil || !cached {
+		t.Fatalf("second run: cached=%v err=%v", cached, err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("cached run must be identical")
+	}
+	if got := st.Stats().Computes; got != 1 {
+		t.Fatalf("cache hit must not simulate (computes = %d)", got)
+	}
+
+	r3, ok, err := lard.LookupStored(st, "BARNES", s, o)
+	if err != nil || !ok || !reflect.DeepEqual(r1, r3) {
+		t.Fatalf("lookup after run = %v, %v", ok, err)
+	}
+	// The direct and stored paths agree.
+	direct, err := lard.Run("BARNES", s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, r1) {
+		t.Fatal("store-backed run must match the direct run")
+	}
+}

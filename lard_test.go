@@ -126,6 +126,9 @@ func TestPlainLRUAndOracleKnobs(t *testing.T) {
 // machine: for BARNES, the locality-aware protocol beats S-NUCA in both
 // time and energy, and beats VR in energy (§4.1).
 func TestBarnesOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs steady-state trace length (OpsScale 0.5)")
+	}
 	o := lard.Options{Cores: 16, OpsScale: 0.5}
 	snuca := run(t, "BARNES", lard.SNUCA(), o)
 	vr := run(t, "BARNES", lard.VictimReplication(), o)
