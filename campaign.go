@@ -1,0 +1,147 @@
+package lard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+
+	"lard/internal/resultstore"
+)
+
+// campaignKeyVersion is folded into every campaign id so future changes to
+// member addressing can never alias old campaigns.
+const campaignKeyVersion = "lard-campaign-v1"
+
+// CampaignSpec describes a whole benchmark x scheme matrix — one figure's
+// worth of runs — using the same wire types as a single run request. An
+// empty Benchmarks list selects all 21 paper benchmarks; Options apply to
+// every member.
+type CampaignSpec struct {
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Schemes    []Scheme `json:"schemes"`
+	Options    Options  `json:"options"`
+}
+
+// CampaignMember is one expanded (benchmark, scheme) cell of a campaign,
+// carrying its canonical content address and the column label it renders
+// under.
+type CampaignMember struct {
+	Benchmark string
+	Scheme    Scheme
+	Label     string
+	Options   Options
+	Key       string
+}
+
+// ExpandCampaign expands a campaign into its member runs: the cross product
+// of benchmarks and schemes, each validated and content-addressed through
+// the exact same path as a single run. Members whose content address
+// coincides (duplicate scheme entries) are deduplicated, keeping the first
+// occurrence, so a campaign never simulates one run twice. Column labels are
+// made unique ("ASR", "ASR#2") so distinct schemes sharing a figure label
+// stay distinguishable in tables.
+func ExpandCampaign(c CampaignSpec) ([]CampaignMember, error) {
+	if len(c.Schemes) == 0 {
+		return nil, errors.New("lard: campaign has no schemes")
+	}
+	benches := c.Benchmarks
+	if len(benches) == 0 {
+		benches = Benchmarks()
+	}
+
+	// Dedup schemes first: two schemes denote the same run for every
+	// benchmark exactly when they share a content address for one, so
+	// probing against the first benchmark identifies duplicates. Labels are
+	// assigned after deduplication — a dropped duplicate must not leave a
+	// gap in the "#n" suffixes of the surviving columns.
+	var schemes []Scheme
+	seenScheme := make(map[string]bool, len(c.Schemes))
+	for _, s := range c.Schemes {
+		key, err := KeyFor(benches[0], s, c.Options)
+		if err != nil {
+			return nil, fmt.Errorf("campaign member %s/%s: %w", benches[0], s.Label(), err)
+		}
+		if seenScheme[key] {
+			continue
+		}
+		seenScheme[key] = true
+		schemes = append(schemes, s)
+	}
+	labels := make([]string, len(schemes))
+	labelUses := make(map[string]int, len(schemes))
+	for i, s := range schemes {
+		l := s.Label()
+		labelUses[l]++
+		if n := labelUses[l]; n > 1 {
+			l = fmt.Sprintf("%s#%d", l, n)
+		}
+		labels[i] = l
+	}
+
+	seen := make(map[string]bool)
+	var members []CampaignMember
+	for _, b := range benches {
+		for i, s := range schemes {
+			key, err := KeyFor(b, s, c.Options)
+			if err != nil {
+				return nil, fmt.Errorf("campaign member %s/%s: %w", b, labels[i], err)
+			}
+			if seen[key] { // duplicate benchmark entries dedup whole rows
+				continue
+			}
+			seen[key] = true
+			members = append(members, CampaignMember{
+				Benchmark: b, Scheme: s, Label: labels[i], Options: c.Options, Key: key,
+			})
+		}
+	}
+	return members, nil
+}
+
+// CampaignKeyFor returns the campaign's content address: a hex SHA-256 over
+// the sorted (member key, column label) pairs. Two campaigns share an id
+// exactly when they expand to the same set of runs under the same labels:
+// reordering benchmarks or schemes does not change the id, but two schemes
+// that share a figure label (and therefore get order-dependent "#n"
+// suffixes) form distinct campaigns when submitted in different orders —
+// a client can never attach to a campaign whose columns are labeled
+// differently than its own submission would be.
+func CampaignKeyFor(members []CampaignMember) string {
+	pairs := make([]string, len(members))
+	for i, m := range members {
+		pairs[i] = m.Key + "\x00" + m.Label
+	}
+	sort.Strings(pairs)
+	h := sha256.New()
+	h.Write([]byte(campaignKeyVersion))
+	for _, p := range pairs {
+		h.Write([]byte{'\n'})
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FigureSchemes returns the seven scheme columns of Figures 6-8 as wire
+// schemes, for submitting a figure as one campaign. The ASR column is
+// pinned at replication level 0.5: the paper's per-benchmark best-of-five
+// selection is not a single content-addressed run (internal/harness's
+// AutoASR variant performs it for local campaigns).
+func FigureSchemes() []Scheme {
+	return []Scheme{
+		SNUCA(), RNUCA(), VictimReplication(), ASR(0.5),
+		LocalityAware(1), LocalityAware(3), LocalityAware(8),
+	}
+}
+
+// StoredByKey returns the stored result whose content address is key, if
+// the store holds one. It is the polling fallback for ids that outlived a
+// server's job registry: the registry forgets, the store does not.
+func StoredByKey(st *resultstore.Store, key string) (*Result, bool, error) {
+	res, _, ok, err := st.GetByKey(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return export(res), true, nil
+}

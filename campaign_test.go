@@ -1,0 +1,161 @@
+package lard_test
+
+import (
+	"strings"
+	"testing"
+
+	"lard"
+	"lard/internal/resultstore"
+)
+
+// TestExpandCampaign pins the matrix-expansion contract: full cross
+// product, per-member keys matching KeyFor, and an id that is stable under
+// member reordering.
+func TestExpandCampaign(t *testing.T) {
+	spec := lard.CampaignSpec{
+		Benchmarks: []string{"BARNES", "DEDUP"},
+		Schemes:    []lard.Scheme{lard.SNUCA(), lard.LocalityAware(3)},
+		Options:    lard.Options{Cores: 16, OpsScale: 0.02},
+	}
+	members, err := lard.ExpandCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 4 {
+		t.Fatalf("%d members, want 4", len(members))
+	}
+	want, _ := lard.KeyFor("BARNES", lard.SNUCA(), spec.Options)
+	if members[0].Key != want || members[0].Label != "S-NUCA" {
+		t.Fatalf("member 0 = %+v", members[0])
+	}
+
+	// The campaign id ignores member order.
+	id := lard.CampaignKeyFor(members)
+	rev := lard.CampaignSpec{
+		Benchmarks: []string{"DEDUP", "BARNES"},
+		Schemes:    []lard.Scheme{lard.LocalityAware(3), lard.SNUCA()},
+		Options:    spec.Options,
+	}
+	revMembers, err := lard.ExpandCampaign(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lard.CampaignKeyFor(revMembers) != id {
+		t.Fatal("campaign id must be order-independent")
+	}
+	// ...but not options-independent.
+	other := spec
+	other.Options.Seed = 9
+	otherMembers, _ := lard.ExpandCampaign(other)
+	if lard.CampaignKeyFor(otherMembers) == id {
+		t.Fatal("different options must give a different campaign id")
+	}
+}
+
+// TestExpandCampaignDedupAndLabels verifies duplicate schemes collapse and
+// colliding figure labels are made unique.
+func TestExpandCampaignDedupAndLabels(t *testing.T) {
+	members, err := lard.ExpandCampaign(lard.CampaignSpec{
+		Benchmarks: []string{"BARNES"},
+		Schemes:    []lard.Scheme{lard.SNUCA(), lard.SNUCA(), lard.ASR(0.25), lard.ASR(0.75)},
+		Options:    lard.Options{Cores: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate S-NUCA deduped; the two ASR levels are distinct runs with
+	// distinguishable labels.
+	if len(members) != 3 {
+		t.Fatalf("%d members, want 3", len(members))
+	}
+	labels := make([]string, len(members))
+	for i, m := range members {
+		labels[i] = m.Label
+	}
+	got := strings.Join(labels, ",")
+	if got != "S-NUCA,ASR,ASR#2" {
+		t.Fatalf("labels = %q", got)
+	}
+
+	// Labels are assigned after deduplication: a dropped duplicate must not
+	// leave a gap in the #n suffixes (no "ASR#3" without an "ASR#2").
+	members, err = lard.ExpandCampaign(lard.CampaignSpec{
+		Benchmarks: []string{"BARNES"},
+		Schemes:    []lard.Scheme{lard.ASR(0.5), lard.ASR(0.5), lard.ASR(0.25)},
+		Options:    lard.Options{Cores: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels = labels[:0]
+	for _, m := range members {
+		labels = append(labels, m.Label)
+	}
+	if got := strings.Join(labels, ","); got != "ASR,ASR#2" {
+		t.Fatalf("labels after dedup = %q, want ASR,ASR#2", got)
+	}
+}
+
+// TestExpandCampaignErrors covers invalid campaigns, including the RT-0
+// misconfiguration surfacing through member validation.
+func TestExpandCampaignErrors(t *testing.T) {
+	if _, err := lard.ExpandCampaign(lard.CampaignSpec{Benchmarks: []string{"BARNES"}}); err == nil {
+		t.Error("no schemes must error")
+	}
+	if _, err := lard.ExpandCampaign(lard.CampaignSpec{
+		Benchmarks: []string{"NOPE"}, Schemes: []lard.Scheme{lard.SNUCA()},
+	}); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+	if _, err := lard.ExpandCampaign(lard.CampaignSpec{
+		Benchmarks: []string{"BARNES"}, Schemes: []lard.Scheme{lard.LocalityAware(0)},
+	}); err == nil {
+		t.Error("RT-0 member must error")
+	}
+}
+
+// TestExpandCampaignDefaults pins the defaults: all 21 benchmarks, and the
+// seven figure columns.
+func TestExpandCampaignDefaults(t *testing.T) {
+	members, err := lard.ExpandCampaign(lard.CampaignSpec{Schemes: lard.FigureSchemes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 21 * 7; len(members) != want {
+		t.Fatalf("%d members, want %d", len(members), want)
+	}
+	labels := map[string]bool{}
+	for _, m := range members {
+		labels[m.Label] = true
+	}
+	for _, want := range []string{"S-NUCA", "R-NUCA", "VR", "ASR", "RT-1", "RT-3", "RT-8"} {
+		if !labels[want] {
+			t.Errorf("figure column %q missing", want)
+		}
+	}
+}
+
+// TestStoredByKey round-trips a run through a store and back out by its raw
+// content address.
+func TestStoredByKey(t *testing.T) {
+	st, err := resultstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, o := lard.LocalityAware(3), lard.Options{Cores: 16, OpsScale: 0.02}
+	res, _, err := lard.RunWithStore(st, "BARNES", s, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := lard.KeyFor("BARNES", s, o)
+	got, ok, err := lard.StoredByKey(st, key)
+	if err != nil || !ok {
+		t.Fatalf("StoredByKey = %v %v", ok, err)
+	}
+	if got.Benchmark != res.Benchmark || got.CompletionCycles != res.CompletionCycles {
+		t.Fatalf("StoredByKey mismatch: %+v vs %+v", got, res)
+	}
+	if _, ok, err := lard.StoredByKey(st, "nope"); ok || err != nil {
+		t.Fatalf("bad key = %v %v, want clean miss", ok, err)
+	}
+}

@@ -2,12 +2,19 @@
 //
 // Usage:
 //
-//	lard-bench [-fig all|1|6|7|8|9|10|lru|oracle|headline] [-cores 64|16]
+//	lard-bench [-fig all|1|6|7|8|9|10|lru|oracle|headline] [-cores 64|16|4]
 //	           [-scale 1.0] [-seed 0] [-breakdown BENCH] [-store DIR]
+//	           [-remote URL]
 //
 // With -store, every simulation is cached in a content-addressed result
 // store: re-running a figure (or regenerating a different figure that
 // shares runs) reuses stored results instead of re-simulating.
+//
+// With -remote, the figure matrix is submitted to a running lard-server as
+// ONE campaign (-fig 6, 7 or all) instead of simulating locally: the
+// service fans the members out over its worker pool, previously computed
+// members are served from its store, and the rendered table comes back over
+// HTTP.
 //
 // Each figure prints an aligned text table; EXPERIMENTS.md records the
 // paper-vs-measured comparison produced by this tool.
@@ -20,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"lard"
 	"lard/internal/harness"
 	"lard/internal/resultstore"
 )
@@ -27,18 +35,37 @@ import (
 func main() {
 	var (
 		fig       = flag.String("fig", "all", "which figure to regenerate: all,1,6,7,8,9,10,lru,revict,oracle,headline")
-		cores     = flag.Int("cores", 64, "core count (64 = Table 1, 16 = scaled down)")
+		cores     = flag.Int("cores", 64, "core count (64 = Table 1, 16 or 4 = scaled down)")
 		scale     = flag.Float64("scale", 1.0, "per-core operation count scale")
 		seed      = flag.Uint64("seed", 0, "workload seed")
 		breakdown = flag.String("breakdown", "", "also print per-component stacks for this benchmark")
 		par       = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
 		benchList = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 		storeDir  = flag.String("store", "", "result store directory (empty = no caching)")
+		remote    = flag.String("remote", "", "lard-server URL: submit the figure as one campaign instead of simulating locally")
 	)
 	flag.Parse()
 	base := harness.Base{Cores: *cores, OpsScale: *scale, Seed: *seed, Parallelism: *par}
 	if *benchList != "" {
 		base.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *remote != "" {
+		if *fig != "6" && *fig != "7" && *fig != "all" {
+			fatal(fmt.Errorf("-remote supports -fig 6, 7 or all, not %q", *fig))
+		}
+		// Local-only flags must not be silently dropped: the server owns
+		// the store and the parallelism, and the table endpoint has no
+		// per-component breakdown.
+		if *breakdown != "" || *storeDir != "" || *par != 0 {
+			fatal(fmt.Errorf("-breakdown, -store and -par do not apply in -remote mode"))
+		}
+		spec := lard.CampaignSpec{
+			Benchmarks: base.Benchmarks,
+			Schemes:    lard.FigureSchemes(),
+			Options:    lard.Options{Cores: *cores, OpsScale: *scale, Seed: *seed},
+		}
+		fatal(remoteFigure(*remote, *fig, spec))
+		return
 	}
 	if *storeDir != "" {
 		st, err := resultstore.New(*storeDir)

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"lard"
+	"lard/internal/server"
+)
+
+// remoteFigure submits the figure matrix as ONE campaign to a lard-server
+// at base URL and renders the requested figure tables from the service,
+// performing zero local simulations. The client is deliberately dumb: it
+// re-POSTs the same matrix on 429 (the server sheds load when its queue is
+// full and continues the fan-out on resubmission) and polls the campaign
+// until every member is done.
+func remoteFigure(base string, fig string, spec lard.CampaignSpec) error {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+
+	// Submit until fully enqueued (202), or already complete (200).
+	var view server.CampaignView
+	for {
+		code, err := postJSON(base+"/v1/campaigns", body, &view)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case http.StatusOK, http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			fmt.Printf("lard-bench: %d/%d members accepted, server queue full, retrying\n",
+				view.Total-view.Counts[server.StatusPending], view.Total)
+			time.Sleep(time.Second)
+			continue
+		default:
+			return fmt.Errorf("remote submit: HTTP %d: %s", code, view.Error)
+		}
+		break
+	}
+	fmt.Printf("lard-bench: campaign %s: %d members\n", view.ID, view.Total)
+
+	// Poll to completion.
+	for !view.Complete {
+		if n := view.Counts[server.StatusFailed]; n > 0 {
+			for _, m := range view.Members {
+				if m.Status == server.StatusFailed {
+					return fmt.Errorf("remote member %s/%s failed: %s", m.Benchmark, m.Scheme, m.Error)
+				}
+			}
+		}
+		time.Sleep(time.Second)
+		if view.Counts[server.StatusPending] > 0 {
+			// Pending members are not progressing on their own — a
+			// part-filled fan-out, or a member whose job record aged out of
+			// the server's registry. Re-POSTing the matrix re-ensures them;
+			// everything already done or in flight is simply attached to.
+			code, err := postJSON(base+"/v1/campaigns", body, &view)
+			if err != nil {
+				return err
+			}
+			if code != http.StatusOK && code != http.StatusAccepted && code != http.StatusTooManyRequests {
+				return fmt.Errorf("remote re-submit: HTTP %d: %s", code, view.Error)
+			}
+		} else {
+			code, err := getJSON(base+"/v1/campaigns/"+view.ID, &view)
+			if err != nil {
+				return err
+			}
+			if code != http.StatusOK {
+				return fmt.Errorf("remote poll: HTTP %d", code)
+			}
+		}
+		fmt.Printf("lard-bench: %d/%d done (%d cached, %d running, %d queued, %d pending)\n",
+			view.Counts[server.StatusDone], view.Total, view.Cached,
+			view.Counts[server.StatusRunning], view.Counts[server.StatusQueued],
+			view.Counts[server.StatusPending])
+	}
+
+	metrics := map[string][]string{
+		"6": {"energy"}, "7": {"time"}, "all": {"energy", "time"},
+	}[fig]
+	for _, metric := range metrics {
+		var tbl struct {
+			Table string `json:"table"`
+		}
+		code, err := getJSON(base+"/v1/campaigns/"+view.ID+"/table?metric="+metric, &tbl)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("remote table: HTTP %d", code)
+		}
+		fmt.Println(tbl.Table)
+	}
+	return nil
+}
+
+// httpClient bounds every request: campaign responses are small (the heavy
+// work is asynchronous), so a stalled connection must fail the call rather
+// than hang the poll loop forever.
+var httpClient = &http.Client{Timeout: 30 * time.Second}
+
+// postJSON POSTs body and decodes the response into out.
+func postJSON(url string, body []byte, out any) (int, error) {
+	resp, err := httpClient.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	return decodeJSON(resp, out)
+}
+
+// getJSON GETs url and decodes the response into out.
+func getJSON(url string, out any) (int, error) {
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return decodeJSON(resp, out)
+}
+
+func decodeJSON(resp *http.Response, out any) (int, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return resp.StatusCode, fmt.Errorf("decode %s response: %w (%s)", resp.Request.URL, err, b)
+	}
+	return resp.StatusCode, nil
+}

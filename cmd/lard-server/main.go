@@ -5,9 +5,12 @@
 // Usage:
 //
 //	lard-server [-addr :8347] [-store DIR] [-workers N] [-queue N]
+//	            [-max-entries N]
 //
 // An empty -store selects a memory-only store (results do not survive a
-// restart). See internal/server for the endpoint reference.
+// restart). -max-entries bounds the store's in-memory layer with LRU
+// eviction (0 = unbounded); with a disk-backed store, evicted results stay
+// servable from disk. See internal/server for the endpoint reference.
 package main
 
 import (
@@ -26,14 +29,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8347", "listen address")
-		storeDir = flag.String("store", "lard-store", "result store directory (empty = memory only)")
-		workers  = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 64, "pending-job queue depth (full queue answers 429)")
+		addr       = flag.String("addr", ":8347", "listen address")
+		storeDir   = flag.String("store", "lard-store", "result store directory (empty = memory only)")
+		workers    = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "pending-job queue depth (full queue answers 429)")
+		maxEntries = flag.Int("max-entries", 0, "in-memory result bound, LRU-evicted beyond it (0 = unbounded)")
 	)
 	flag.Parse()
 
-	st, err := resultstore.New(*storeDir)
+	st, err := resultstore.NewWithLimit(*storeDir, *maxEntries)
 	fatal(err)
 	svc, err := server.New(server.Config{Store: st, Workers: *workers, QueueDepth: *queue})
 	fatal(err)

@@ -133,6 +133,27 @@ func Small() *Config {
 	return c
 }
 
+// ForCores returns the machine preset for a core count: the Table-1
+// 64-core machine (also the 0-means-default case), or the scaled-down 16-
+// and 4-core variants. It is the single source of truth for the supported
+// presets — every layer that resolves a user-facing core count (the lard
+// facade, the harness) goes through here, so a typo like 46 can never
+// silently select a different machine than the one requested.
+func ForCores(n int) (*Config, error) {
+	switch n {
+	case 0, 64:
+		return Default64(), nil
+	case 16:
+		return Small(), nil
+	case 4:
+		c := Small()
+		c.Cores, c.MeshW, c.MeshH = 4, 2, 2
+		c.DRAMControllers = 2
+		return c, nil
+	}
+	return nil, fmt.Errorf("config: unsupported core count %d (use 4, 16 or 64)", n)
+}
+
 // Validate checks internal consistency and returns a descriptive error for
 // the first violated constraint.
 func (c *Config) Validate() error {

@@ -28,27 +28,39 @@ func Fig7Time(m *Matrix) (string, map[string]float64) {
 // every cell plus an Average row (the paper plots averages, not geomeans,
 // for Figures 6-7).
 func normalizedTable(m *Matrix, title string, metric func(*sim.Result) float64) (string, map[string]float64) {
-	headers := []string{"Benchmark"}
-	for _, v := range m.Variants {
-		headers = append(headers, v.Label)
-	}
+	return RenderNormalizedTable(title, m.Benches, labels(m.Variants), "S-NUCA",
+		func(bench, label string) float64 { return metric(m.Get(bench, label)) })
+}
+
+// RenderNormalizedTable renders a figure-style benchmark x column table from
+// an arbitrary metric surface: each row is normalized to its baselineCol
+// cell (no normalization when baselineCol is empty) and an AVERAGE row is
+// appended, matching the paper's Figures 6-7 presentation. It returns the
+// table text and the per-column averages. This is the rendering seam shared
+// by the in-process figure campaigns (which hold sim.Results) and the run
+// service's campaign endpoint (which holds exported results).
+func RenderNormalizedTable(title string, benches, cols []string, baselineCol string, value func(bench, col string) float64) (string, map[string]float64) {
+	headers := append([]string{"Benchmark"}, cols...)
 	var rows [][]string
-	sums := make(map[string]float64, len(m.Variants))
-	for _, b := range m.Benches {
-		base := metric(m.Get(b, "S-NUCA"))
+	sums := make(map[string]float64, len(cols))
+	for _, b := range benches {
+		base := 1.0
+		if baselineCol != "" {
+			base = value(b, baselineCol)
+		}
 		row := []string{b}
-		for _, v := range m.Variants {
-			val := metric(m.Get(b, v.Label)) / base
-			sums[v.Label] += val
+		for _, c := range cols {
+			val := value(b, c) / base
+			sums[c] += val
 			row = append(row, fmt.Sprintf("%.3f", val))
 		}
 		rows = append(rows, row)
 	}
-	avg := make(map[string]float64, len(m.Variants))
+	avg := make(map[string]float64, len(cols))
 	avgRow := []string{"AVERAGE"}
-	for _, v := range m.Variants {
-		avg[v.Label] = sums[v.Label] / float64(len(m.Benches))
-		avgRow = append(avgRow, fmt.Sprintf("%.3f", avg[v.Label]))
+	for _, c := range cols {
+		avg[c] = sums[c] / float64(len(benches))
+		avgRow = append(avgRow, fmt.Sprintf("%.3f", avg[c]))
 	}
 	rows = append(rows, avgRow)
 	return title + "\n" + stats.Table(headers, rows), avg

@@ -20,7 +20,8 @@ import (
 
 // Base configures a whole experiment campaign.
 type Base struct {
-	// Cores selects the machine: 64 (Table 1) or 16 (scaled-down).
+	// Cores selects the machine: 64 (Table 1), 16 or 4 (scaled-down);
+	// 0 defaults to 64. Any other value is rejected.
 	Cores int
 	// OpsScale scales per-core operation counts.
 	OpsScale float64
@@ -47,11 +48,21 @@ func (b Base) simulate(cfg *config.Config, prof trace.Profile, opt sim.Options) 
 	return res, err
 }
 
-func (b Base) config() *config.Config {
-	if b.Cores == 16 {
-		return config.Small()
+// cores returns the effective core count (0 defaults to 64). It does not
+// validate; config does.
+func (b Base) cores() int {
+	if b.Cores == 0 {
+		return 64
 	}
-	return config.Default64()
+	return b.Cores
+}
+
+// config builds the machine configuration for the campaign. Like
+// lard.buildConfig, it resolves the core count through config.ForCores —
+// a typo such as Cores: 46 must fail loudly, not silently simulate the
+// 64-core machine.
+func (b Base) config() (*config.Config, error) {
+	return config.ForCores(b.Cores)
 }
 
 func (b Base) benchmarks() []string {
@@ -111,8 +122,13 @@ func Run(base Base, bench string, v Variant) (*sim.Result, error) {
 	if v.AutoASR {
 		return runAutoASR(base, prof, v)
 	}
-	cfg := base.config()
-	applyVariant(cfg, v)
+	cfg, err := base.config()
+	if err != nil {
+		return nil, err
+	}
+	if err := applyVariant(cfg, v); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", bench, v.Label, err)
 	}
@@ -133,8 +149,13 @@ func Run(base Base, bench string, v Variant) (*sim.Result, error) {
 // runAutoASR evaluates the five ASR replication levels and returns the run
 // with the lowest energy-delay product, as the paper's methodology does.
 func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
-	cfg := base.config()
-	applyVariant(cfg, v)
+	cfg, err := base.config()
+	if err != nil {
+		return nil, err
+	}
+	if err := applyVariant(cfg, v); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", prof.Name, v.Label, err)
 	}
@@ -142,10 +163,11 @@ func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
 	bestEDP := 0.0
 	for _, level := range ASRLevels {
 		res, err := base.simulate(cfg, prof, sim.Options{
-			Scheme:   coherence.ASR,
-			ASRLevel: level,
-			Seed:     base.Seed,
-			OpsScale: base.OpsScale,
+			Scheme:    coherence.ASR,
+			ASRLevel:  level,
+			Seed:      base.Seed,
+			OpsScale:  base.OpsScale,
+			TrackRuns: v.TrackRuns,
 		})
 		if err != nil {
 			return nil, err
@@ -159,12 +181,16 @@ func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
 	return best, nil
 }
 
-// applyVariant maps a variant onto the architectural configuration.
-func applyVariant(cfg *config.Config, v Variant) {
+// applyVariant maps a variant onto the architectural configuration. Like
+// lard.buildConfig, it rejects a locality-aware variant without an explicit
+// threshold: silently simulating the config default under the variant's
+// label would mislabel every downstream table and store entry.
+func applyVariant(cfg *config.Config, v Variant) error {
 	if v.Scheme == coherence.LocalityAware {
-		if v.RT > 0 {
-			cfg.RT = v.RT
+		if v.RT < 1 {
+			return fmt.Errorf("harness: variant %q: locality-aware scheme requires RT >= 1, got %d", v.Label, v.RT)
 		}
+		cfg.RT = v.RT
 		switch {
 		case v.K < 0:
 			cfg.ClassifierK = 0 // Complete
@@ -183,6 +209,7 @@ func applyVariant(cfg *config.Config, v Variant) {
 	}
 	cfg.KeepL1OnReplicaEvict = v.KeepL1
 	cfg.LookupOracle = v.Oracle
+	return nil
 }
 
 // Matrix holds the results of a benchmark x variant campaign.

@@ -147,9 +147,19 @@ func TestRunMatrixStoreMatchesDirect(t *testing.T) {
 // (which applyVariant maps onto the config) with an impossible cluster
 // size.
 func TestAutoASRValidatesConfig(t *testing.T) {
-	v := Variant{Label: "ASR", Scheme: coherence.LocalityAware, AutoASR: true, Cluster: 5}
+	v := Variant{Label: "ASR", Scheme: coherence.LocalityAware, AutoASR: true, RT: 3, Cluster: 5}
 	if _, err := Run(smallBase("DEDUP"), "DEDUP", v); err == nil {
 		t.Fatal("AutoASR must reject an invalid config (ClusterSize 5 does not divide 16)")
+	}
+}
+
+// TestVariantRTZeroRejected mirrors the facade's RT-0 guard at the harness
+// layer: a locality-aware variant without an explicit threshold must error,
+// never silently simulate the config default under the variant's label.
+func TestVariantRTZeroRejected(t *testing.T) {
+	v := Variant{Label: "RT-1", Scheme: coherence.LocalityAware, K: 3, Cluster: 1}
+	if _, err := Run(smallBase("DEDUP"), "DEDUP", v); err == nil {
+		t.Fatal("locality-aware variant without RT must error")
 	}
 }
 
@@ -163,6 +173,57 @@ func TestAutoASRPicksALevel(t *testing.T) {
 	}
 }
 
+// TestAutoASRTracksRuns is a regression test: runAutoASR used to drop
+// TrackRuns from the per-level options, so an AutoASR variant could never
+// collect the Figure-1 histogram.
+func TestAutoASRTracksRuns(t *testing.T) {
+	res, err := Run(smallBase(), "DEDUP",
+		Variant{Label: "ASR", Scheme: coherence.ASR, AutoASR: true, TrackRuns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs == nil || res.Runs.Total() == 0 {
+		t.Fatal("AutoASR with TrackRuns must collect the run-length histogram")
+	}
+}
+
+// TestCoreCountValidation is a regression test: Base.config() used to map
+// every core count other than 16 to the 64-core machine, so Cores: 4 (or a
+// typo like 46) silently simulated 64 cores. The supported presets work and
+// report the machine they claim; anything else errors.
+func TestCoreCountValidation(t *testing.T) {
+	for _, cores := range []int{0, 4, 16, 64} {
+		base := Base{Cores: cores, OpsScale: 0.02, Benchmarks: []string{"DEDUP"}}
+		res, err := Run(base, "DEDUP", Variant{Label: "S-NUCA", Scheme: coherence.SNUCA})
+		if err != nil {
+			t.Fatalf("Cores=%d: %v", cores, err)
+		}
+		want := cores
+		if want == 0 {
+			want = 64
+		}
+		if res.Cores != want {
+			t.Fatalf("Cores=%d simulated a %d-core machine", cores, res.Cores)
+		}
+	}
+	for _, cores := range []int{46, 7, -1, 128} {
+		base := Base{Cores: cores, OpsScale: 0.02, Benchmarks: []string{"DEDUP"}}
+		if _, err := Run(base, "DEDUP", Variant{Label: "S-NUCA", Scheme: coherence.SNUCA}); err == nil {
+			t.Fatalf("Cores=%d must error, not silently simulate 64 cores", cores)
+		}
+		// The AutoASR path validates identically.
+		if _, err := Run(base, "DEDUP", Variant{Label: "ASR", Scheme: coherence.ASR, AutoASR: true}); err == nil {
+			t.Fatalf("Cores=%d must error on the AutoASR path too", cores)
+		}
+		if _, _, err := Fig9LimitedK(base); err == nil {
+			t.Fatalf("Cores=%d must error in sensitivity studies too", cores)
+		}
+		if _, _, err := Fig10ClusterSize(base); err == nil {
+			t.Fatalf("Cores=%d must error in Figure 10 (not panic on an empty sweep)", cores)
+		}
+	}
+}
+
 func TestFig1RunLengths(t *testing.T) {
 	table, hists, err := Fig1RunLengths(smallBase("BARNES"))
 	if err != nil {
@@ -173,6 +234,41 @@ func TestFig1RunLengths(t *testing.T) {
 	}
 	if hists["BARNES"] == nil || hists["BARNES"].Total() == 0 {
 		t.Error("Figure 1 histogram empty")
+	}
+}
+
+// TestSensitivityAtFourCores pins the 4-core preset against the sensitivity
+// studies: Figure 10 must sweep only cluster sizes that tile the machine
+// ({1,2,4}), and Figure 9 must collapse every k >= cores into ONE Complete
+// column instead of simulating duplicates under misleading k-labels.
+func TestSensitivityAtFourCores(t *testing.T) {
+	base := Base{Cores: 4, OpsScale: 0.02, Benchmarks: []string{"DEDUP"}}
+
+	table10, vals10, err := Fig10ClusterSize(base)
+	if err != nil {
+		t.Fatalf("Figure 10 at 4 cores: %v", err)
+	}
+	if strings.Contains(table10, "C-16") || !strings.Contains(table10, "C-4") {
+		t.Errorf("4-core cluster sweep wrong:\n%s", table10)
+	}
+	if _, ok := vals10["DEDUP"][16]; ok {
+		t.Error("cluster 16 cannot tile a 4-core machine")
+	}
+
+	table9, vals9, err := Fig9LimitedK(base)
+	if err != nil {
+		t.Fatalf("Figure 9 at 4 cores: %v", err)
+	}
+	// k in {1,3} are real Limited-k columns; 5, 7 and 64 all collapse into
+	// the single Complete column (keyed 64).
+	if strings.Contains(table9, "k=5") || strings.Contains(table9, "k=7") {
+		t.Errorf("clamped k must not render as its own column:\n%s", table9)
+	}
+	if !strings.Contains(table9, "Complete") {
+		t.Errorf("Complete column missing:\n%s", table9)
+	}
+	if pair := vals9["DEDUP"][64]; pair[0] != 1.0 || pair[1] != 1.0 {
+		t.Errorf("Complete column must normalize to 1.0, got %v", pair)
 	}
 }
 

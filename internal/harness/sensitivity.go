@@ -22,28 +22,40 @@ var Fig9Ks = []int{1, 3, 5, 7, 64}
 
 // Fig9LimitedK runs the Limited-k sensitivity study at RT=3 and renders the
 // energy and completion-time tables normalized to the Complete classifier.
-// It returns the tables and the normalized values keyed [bench][k].
+// It returns the tables and the normalized values keyed [bench][k], with the
+// Complete column keyed under the largest Fig9K (64).
 func Fig9LimitedK(base Base) (string, map[string]map[int][2]float64, error) {
 	if base.Benchmarks == nil {
 		base.Benchmarks = Fig9Benches
 	}
+	// Limited-k sizes below the machine's core count, plus one Complete
+	// column: a Limited-k with k >= cores IS the Complete classifier, so
+	// emitting every clamped k as its own column (which Cores: 4 would do
+	// three times over) would simulate identical configurations under
+	// distinct, misleading labels.
 	var variants []Variant
+	var ks []int // the k each column reports under in vals
 	for _, k := range Fig9Ks {
-		kk := k
-		if k >= base.config().Cores {
-			kk = -1 // Complete
+		if k >= base.cores() {
+			continue
 		}
 		variants = append(variants, Variant{
 			Label:  fmt.Sprintf("k=%d", k),
-			Scheme: coherence.LocalityAware, RT: 3, K: kk, Cluster: 1,
+			Scheme: coherence.LocalityAware, RT: 3, K: k, Cluster: 1,
 		})
+		ks = append(ks, k)
 	}
+	const baseLabel = "Complete"
+	variants = append(variants, Variant{
+		Label:  baseLabel,
+		Scheme: coherence.LocalityAware, RT: 3, K: -1, Cluster: 1,
+	})
+	ks = append(ks, Fig9Ks[len(Fig9Ks)-1])
 	m, err := RunMatrix(base, variants)
 	if err != nil {
 		return "", nil, err
 	}
 	vals := make(map[string]map[int][2]float64)
-	baseLabel := fmt.Sprintf("k=%d", Fig9Ks[len(Fig9Ks)-1])
 	render := func(title string, metric func(*sim.Result) float64, idx int) string {
 		headers := append([]string{"Benchmark"}, labels(variants)...)
 		var rows [][]string
@@ -56,9 +68,9 @@ func Fig9LimitedK(base Base) (string, map[string]map[int][2]float64, error) {
 				if vals[b] == nil {
 					vals[b] = make(map[int][2]float64)
 				}
-				pair := vals[b][Fig9Ks[i]]
+				pair := vals[b][ks[i]]
 				pair[idx] = val
-				vals[b][Fig9Ks[i]] = pair
+				vals[b][ks[i]] = pair
 				geos[i] = append(geos[i], val)
 				row = append(row, fmt.Sprintf("%.3f", val))
 			}
@@ -95,9 +107,24 @@ func Fig10ClusterSize(base Base) (string, map[string]map[int][2]float64, error) 
 	if base.Benchmarks == nil {
 		base.Benchmarks = Fig10Benches
 	}
-	clusters := Fig10Clusters
-	if base.config().Cores < 64 {
-		clusters = []int{1, 2, 4, 16} // scaled-down machine
+	// Reject unsupported core counts before deriving the sweep from them:
+	// an invalid count must fail loudly here, not produce an empty cluster
+	// list and a vacuous matrix.
+	if _, err := base.config(); err != nil {
+		return "", nil, err
+	}
+	candidates := Fig10Clusters
+	if base.cores() < 64 {
+		candidates = []int{1, 2, 4, 16} // scaled-down machine
+	}
+	// A cluster must tile the machine: keep only divisors of the core
+	// count, so the 4-core preset sweeps {1, 2, 4} instead of failing
+	// validation on C-16.
+	var clusters []int
+	for _, c := range candidates {
+		if c <= base.cores() && base.cores()%c == 0 {
+			clusters = append(clusters, c)
+		}
 	}
 	var variants []Variant
 	for _, c := range clusters {

@@ -9,7 +9,8 @@
 //
 // The store layers three mechanisms:
 //
-//   - an in-memory map for results seen this process,
+//   - an in-memory map for results seen this process, optionally bounded by
+//     an LRU entry limit so long-lived servers don't grow without bound,
 //   - an optional on-disk JSON backend (one file per key under a store
 //     directory) that persists results across processes, and
 //   - singleflight deduplication: concurrent GetOrCompute calls for the
@@ -20,14 +21,19 @@
 package resultstore
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
+	"lard/internal/coherence"
 	"lard/internal/config"
 	"lard/internal/sim"
 )
@@ -74,6 +80,15 @@ func (s Spec) Key() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// SchemeLabel renders the spec's scheme the way the paper's figures do
+// ("RT-3" for the locality-aware protocol, the scheme name otherwise).
+func (s Spec) SchemeLabel() string {
+	if s.Options.Scheme == coherence.LocalityAware {
+		return fmt.Sprintf("RT-%d", s.Config.RT)
+	}
+	return s.Options.Scheme.String()
+}
+
 // Stats counts store traffic. Computes is the number of times a compute
 // callback actually ran — the store's cache-effectiveness ground truth.
 type Stats struct {
@@ -94,6 +109,9 @@ type Stats struct {
 	// CorruptEntries counts on-disk entries that failed to decode and were
 	// treated as misses (the next compute overwrites them).
 	CorruptEntries uint64 `json:"corrupt_entries"`
+	// Evictions counts memory-layer entries dropped by the LRU bound.
+	// Evicted results remain readable from the disk backend.
+	Evictions uint64 `json:"evictions"`
 }
 
 // entry is the on-disk envelope: the spec is stored alongside the result so
@@ -104,6 +122,21 @@ type entry struct {
 	Result *sim.Result `json:"result"`
 }
 
+// IndexEntry is one row of Index: the identity of a stored run.
+type IndexEntry struct {
+	// Key is the run's content address.
+	Key string `json:"key"`
+	// Benchmark, Scheme, Cores, Seed and OpsScale summarize the spec.
+	Benchmark string  `json:"benchmark"`
+	Scheme    string  `json:"scheme"`
+	Cores     int     `json:"cores"`
+	Seed      uint64  `json:"seed"`
+	OpsScale  float64 `json:"ops_scale"`
+	// InMemory reports whether the entry is resident in the memory layer
+	// (false = disk only, e.g. after an LRU eviction or a restart).
+	InMemory bool `json:"in_memory"`
+}
+
 // call is one in-flight singleflight computation.
 type call struct {
 	done chan struct{}
@@ -111,20 +144,39 @@ type call struct {
 	err  error
 }
 
+// memEntry is one memory-layer entry; the spec is kept alongside the result
+// so the index is self-describing without touching disk.
+type memEntry struct {
+	key  string
+	spec Spec
+	res  *sim.Result
+}
+
 // Store is a content-addressed result cache. The zero value is not usable;
 // call New. A Store is safe for concurrent use.
 type Store struct {
 	dir string // "" = memory only
+	max int    // memory-layer LRU bound; 0 = unbounded
 
 	mu    sync.Mutex
-	mem   map[string]*sim.Result
+	mem   map[string]*list.Element // of *memEntry
+	lru   *list.List               // front = most recently used
 	calls map[string]*call
 	stats Stats
 }
 
-// New opens a store. dir is the on-disk backend directory, created if
-// missing; an empty dir selects a memory-only store.
-func New(dir string) (*Store, error) {
+// New opens an unbounded store. dir is the on-disk backend directory,
+// created if missing; an empty dir selects a memory-only store.
+func New(dir string) (*Store, error) { return NewWithLimit(dir, 0) }
+
+// NewWithLimit opens a store whose memory layer holds at most maxEntries
+// results, evicting least-recently-used entries beyond that (0 = unbounded).
+// With a disk backend, evicted results stay readable from disk; memory-only
+// stores lose them outright, trading recomputation for bounded memory.
+func NewWithLimit(dir string, maxEntries int) (*Store, error) {
+	if maxEntries < 0 {
+		return nil, fmt.Errorf("resultstore: negative entry limit %d", maxEntries)
+	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("resultstore: %w", err)
@@ -132,13 +184,18 @@ func New(dir string) (*Store, error) {
 	}
 	return &Store{
 		dir:   dir,
-		mem:   make(map[string]*sim.Result),
+		max:   maxEntries,
+		mem:   make(map[string]*list.Element),
+		lru:   list.New(),
 		calls: make(map[string]*call),
 	}, nil
 }
 
 // Dir returns the disk backend directory ("" for a memory-only store).
 func (s *Store) Dir() string { return s.dir }
+
+// MaxEntries returns the memory-layer LRU bound (0 = unbounded).
+func (s *Store) MaxEntries() int { return s.max }
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
@@ -154,35 +211,90 @@ func (s *Store) Len() int {
 	return len(s.mem)
 }
 
+// memGetLocked returns the memory entry for key, refreshing its recency.
+// Callers hold s.mu.
+func (s *Store) memGetLocked(key string) (*memEntry, bool) {
+	el, ok := s.mem[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*memEntry), true
+}
+
+// memPutLocked inserts or refreshes a memory entry and enforces the LRU
+// bound. Callers hold s.mu.
+func (s *Store) memPutLocked(key string, spec Spec, r *sim.Result) {
+	if el, ok := s.mem[key]; ok {
+		el.Value.(*memEntry).res = r
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.mem[key] = s.lru.PushFront(&memEntry{key: key, spec: spec, res: r})
+	for s.max > 0 && s.lru.Len() > s.max {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.mem, oldest.Value.(*memEntry).key)
+		s.stats.Evictions++
+	}
+}
+
 // path returns the entry file for key, sharded by the first hash byte so no
 // single directory grows unboundedly.
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
+// validKey reports whether key is a well-formed content address (64 lowercase
+// hex digits). Lookups by raw key strings (GET /v1/runs/{id} fallbacks) pass
+// through here, so a malformed or path-traversing id can never touch disk.
+func validKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // Get returns the cached result for spec, or (nil, false) on a miss.
 func (s *Store) Get(spec Spec) (*sim.Result, bool, error) {
-	key := spec.Key()
+	r, _, ok, err := s.GetByKey(spec.Key())
+	return r, ok, err
+}
+
+// GetByKey returns the stored result whose content address is key, along
+// with its spec, or ok=false when no layer holds it. It never computes; it
+// is the lookup path for callers that hold only a raw id (the server's
+// GET-after-eviction fallback and the index).
+func (s *Store) GetByKey(key string) (*sim.Result, Spec, bool, error) {
+	if !validKey(key) {
+		return nil, Spec{}, false, nil
+	}
 	s.mu.Lock()
-	if r, ok := s.mem[key]; ok {
+	if e, ok := s.memGetLocked(key); ok {
 		s.stats.MemHits++
 		s.mu.Unlock()
-		return r.Clone(), true, nil
+		return e.res.Clone(), e.spec, true, nil
 	}
 	s.mu.Unlock()
 
-	r, err := s.readDisk(key)
+	e, err := s.readDisk(key)
 	if err != nil {
-		return nil, false, err
+		return nil, Spec{}, false, err
+	}
+	if e == nil {
+		return nil, Spec{}, false, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r == nil {
-		return nil, false, nil
-	}
 	s.stats.DiskHits++
-	s.mem[key] = r
-	return r.Clone(), true, nil
+	s.memPutLocked(key, e.Spec, e.Result)
+	return e.Result.Clone(), e.Spec, true, nil
 }
 
 // Put stores a result for spec, overwriting any previous entry.
@@ -190,7 +302,7 @@ func (s *Store) Put(spec Spec, r *sim.Result) error {
 	key := spec.Key()
 	c := r.Clone()
 	s.mu.Lock()
-	s.mem[key] = c
+	s.memPutLocked(key, spec, c)
 	s.mu.Unlock()
 	return s.writeDisk(key, spec, c)
 }
@@ -204,10 +316,10 @@ func (s *Store) GetOrCompute(spec Spec, compute func() (*sim.Result, error)) (*s
 	key := spec.Key()
 
 	s.mu.Lock()
-	if r, ok := s.mem[key]; ok {
+	if e, ok := s.memGetLocked(key); ok {
 		s.stats.MemHits++
 		s.mu.Unlock()
-		return r.Clone(), true, nil
+		return e.res.Clone(), true, nil
 	}
 	if c, ok := s.calls[key]; ok {
 		s.stats.Shared++
@@ -237,29 +349,29 @@ func (s *Store) GetOrCompute(spec Spec, compute func() (*sim.Result, error)) (*s
 // leader runs the miss path of GetOrCompute for the singleflight winner:
 // consult disk, else compute and persist.
 func (s *Store) leader(key string, spec Spec, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
-	r, err := s.readDisk(key)
+	e, err := s.readDisk(key)
 	if err != nil {
 		return nil, false, err
 	}
-	if r != nil {
+	if e != nil {
 		s.mu.Lock()
 		s.stats.DiskHits++
-		s.mem[key] = r
+		s.memPutLocked(key, e.Spec, e.Result)
 		s.mu.Unlock()
-		return r, true, nil
+		return e.Result, true, nil
 	}
 
 	s.mu.Lock()
 	s.stats.Misses++
 	s.stats.Computes++
 	s.mu.Unlock()
-	r, err = compute()
+	r, err := compute()
 	if err != nil {
 		return nil, false, err
 	}
 	c := r.Clone()
 	s.mu.Lock()
-	s.mem[key] = c
+	s.memPutLocked(key, spec, c)
 	s.mu.Unlock()
 	if err := s.writeDisk(key, spec, c); err != nil {
 		return nil, false, err
@@ -267,12 +379,72 @@ func (s *Store) leader(key string, spec Spec, compute func() (*sim.Result, error
 	return c, false, nil
 }
 
+// Index enumerates every stored run — memory-resident and disk-only alike —
+// sorted by key. It reads entry files to recover specs, so it is an audit
+// endpoint, not a hot path.
+func (s *Store) Index() ([]IndexEntry, error) {
+	seen := make(map[string]IndexEntry)
+	s.mu.Lock()
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*memEntry)
+		seen[e.key] = indexEntryFor(e.key, e.spec, true)
+	}
+	s.mu.Unlock()
+
+	if s.dir != "" {
+		err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+				return nil
+			}
+			key := strings.TrimSuffix(d.Name(), ".json")
+			if !validKey(key) {
+				return nil // temp files and stray content
+			}
+			if _, ok := seen[key]; ok {
+				return nil
+			}
+			e, err := s.readDisk(key)
+			if err != nil || e == nil {
+				return err // corrupt entries already counted by readDisk
+			}
+			seen[key] = indexEntryFor(key, e.Spec, false)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: index: %w", err)
+		}
+	}
+
+	out := make([]IndexEntry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// indexEntryFor summarizes a spec into an index row.
+func indexEntryFor(key string, spec Spec, inMem bool) IndexEntry {
+	return IndexEntry{
+		Key:       key,
+		Benchmark: spec.Benchmark,
+		Scheme:    spec.SchemeLabel(),
+		Cores:     spec.Config.Cores,
+		Seed:      spec.Options.Seed,
+		OpsScale:  spec.Options.OpsScale,
+		InMemory:  inMem,
+	}
+}
+
 // readDisk loads the entry for key from the disk backend, returning nil on
 // a miss (or when the store is memory-only). An entry that fails to decode
 // is treated as a miss, not an error: the key stays computable and the next
 // write atomically replaces the damaged file. Real I/O failures still
 // surface as errors.
-func (s *Store) readDisk(key string) (*sim.Result, error) {
+func (s *Store) readDisk(key string) (*entry, error) {
 	if s.dir == "" {
 		return nil, nil
 	}
@@ -290,7 +462,7 @@ func (s *Store) readDisk(key string) (*sim.Result, error) {
 		s.mu.Unlock()
 		return nil, nil
 	}
-	return e.Result, nil
+	return &e, nil
 }
 
 // writeDisk persists an entry atomically (temp file + rename) so concurrent

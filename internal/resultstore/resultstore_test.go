@@ -223,6 +223,150 @@ func TestCorruptEntryRecovers(t *testing.T) {
 	}
 }
 
+// TestLRUEviction pins the memory-bound contract: a store with MaxEntries n
+// never holds more than n results in memory, evicts least-recently-used
+// first, and (with a disk backend) serves evicted keys from disk instead of
+// recomputing.
+func TestLRUEviction(t *testing.T) {
+	st, err := NewWithLimit(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		if err := st.Put(spec(seed), fakeResult(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	if ev := st.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+
+	// Seed 1 was the oldest and is gone from memory — but the disk backend
+	// still answers it, with no compute.
+	computes := 0
+	res, cached, err := st.GetOrCompute(spec(1), func() (*sim.Result, error) {
+		computes++
+		return fakeResult(99), nil
+	})
+	if err != nil || !cached || computes != 0 || res.CompletionTime != 1 {
+		t.Fatalf("evicted key: cached=%v computes=%d res=%+v err=%v", cached, computes, res, err)
+	}
+
+	// Recency is refreshed on hit: touch seed 2, insert seed 4, and seed 1
+	// (less recently used) is the one evicted.
+	if _, ok, _ := st.Get(spec(2)); !ok {
+		t.Fatal("seed 2 must still be in the store")
+	}
+	if err := st.Put(spec(4), fakeResult(4)); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	_, has1 := st.mem[spec(1).Key()]
+	_, has2 := st.mem[spec(2).Key()]
+	st.mu.Unlock()
+	if has1 || !has2 {
+		t.Fatalf("LRU order wrong: seed1 in mem=%v, seed2 in mem=%v", has1, has2)
+	}
+}
+
+// TestLRUEvictionMemoryOnly verifies the bound also holds without a disk
+// backend (the evicted result is simply recomputed next time).
+func TestLRUEvictionMemoryOnly(t *testing.T) {
+	st, err := NewWithLimit("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(spec(1), fakeResult(1))
+	st.Put(spec(2), fakeResult(2))
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+	if _, ok, _ := st.Get(spec(1)); ok {
+		t.Fatal("evicted entry must be gone from a memory-only store")
+	}
+	if _, err := NewWithLimit("", -1); err == nil {
+		t.Fatal("negative limit must be rejected")
+	}
+}
+
+// TestGetByKey covers the raw-content-address lookup path: memory hit, disk
+// fallback in a fresh process, spec recovery, and rejection of malformed
+// keys (which must never touch the filesystem).
+func TestGetByKey(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := New(dir)
+	sp := spec(1)
+	if err := st.Put(sp, fakeResult(5)); err != nil {
+		t.Fatal(err)
+	}
+	res, got, ok, err := st.GetByKey(sp.Key())
+	if err != nil || !ok || res.CompletionTime != 5 || got.Benchmark != "BARNES" {
+		t.Fatalf("GetByKey = %+v %+v %v %v", res, got, ok, err)
+	}
+
+	// A fresh store over the same directory recovers result AND spec from
+	// the raw key alone.
+	st2, _ := New(dir)
+	res2, sp2, ok, err := st2.GetByKey(sp.Key())
+	if err != nil || !ok || res2.CompletionTime != 5 {
+		t.Fatalf("disk GetByKey = %+v %v %v", res2, ok, err)
+	}
+	if sp2.Key() != sp.Key() {
+		t.Fatal("recovered spec must re-derive the same key")
+	}
+
+	for _, bad := range []string{"", "zz", "../../../../etc/passwd", "ABCD", sp.Key()[:40]} {
+		if _, _, ok, err := st2.GetByKey(bad); ok || err != nil {
+			t.Fatalf("malformed key %q: ok=%v err=%v, want clean miss", bad, ok, err)
+		}
+	}
+}
+
+// TestIndex enumerates memory-resident and disk-only entries.
+func TestIndex(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := New(dir)
+	st.Put(spec(1), fakeResult(1))
+	st.Put(spec(2), fakeResult(2))
+
+	idx, err := st.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("index has %d entries, want 2", len(idx))
+	}
+	for _, e := range idx {
+		if e.Benchmark != "BARNES" || e.Scheme != "S-NUCA" || e.Cores != 16 || !e.InMemory {
+			t.Fatalf("bad index entry %+v", e)
+		}
+	}
+	if idx[0].Key >= idx[1].Key {
+		t.Fatal("index must be sorted by key")
+	}
+
+	// A fresh store sees the same entries as disk-only.
+	st2, _ := New(dir)
+	idx2, err := st2.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx2) != 2 || idx2[0].InMemory || idx2[1].InMemory {
+		t.Fatalf("disk-only index = %+v", idx2)
+	}
+
+	// Memory-only stores index too.
+	st3, _ := New("")
+	st3.Put(spec(3), fakeResult(3))
+	idx3, err := st3.Index()
+	if err != nil || len(idx3) != 1 {
+		t.Fatalf("memory-only index = %+v (%v)", idx3, err)
+	}
+}
+
 // TestEnvelopeIsSelfDescribing checks the on-disk format records the spec
 // next to the result.
 func TestEnvelopeIsSelfDescribing(t *testing.T) {

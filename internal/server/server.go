@@ -3,12 +3,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/runs        submit a run; 200 + result on a store hit,
-//	                     202 + job on a miss, 429 when the queue is full
-//	GET  /v1/runs/{id}   poll a job (the id is the run's content address)
-//	GET  /v1/benchmarks  list the benchmark names
-//	GET  /healthz        liveness probe
-//	GET  /stats          store, queue and job counters
+//	POST /v1/runs                  submit a run; 200 + result on a store
+//	                               hit, 202 + job on a miss, 429 when the
+//	                               queue is full
+//	GET  /v1/runs/{id}             poll a job (the id is the run's content
+//	                               address; evicted ids fall back to the
+//	                               store)
+//	POST /v1/campaigns             submit a benchmark x scheme matrix as
+//	                               one campaign (see campaign.go)
+//	GET  /v1/campaigns/{id}        campaign progress + per-member status
+//	GET  /v1/campaigns/{id}/table  render a completed campaign as a
+//	                               figure-style table
+//	GET  /v1/results               index of every stored run spec
+//	GET  /v1/benchmarks            list the benchmark names
+//	GET  /healthz                  liveness probe
+//	GET  /stats                    store, queue and job counters
 //
 // Jobs are content-addressed: a run's job id IS its canonical store key,
 // so resubmitting an identical request while it is queued or running
@@ -68,6 +77,17 @@ type RunRequest struct {
 	Options   lard.Options `json:"options"`
 }
 
+// validateScheme rejects decoded scheme shapes whose silent acceptance
+// would simulate something other than what the client asked for. It
+// duplicates the facade's own guards on purpose: the service must never
+// depend on a lower layer to catch a mislabeled run.
+func validateScheme(s lard.Scheme) error {
+	if s.Kind == "RT" && s.RT < 1 {
+		return fmt.Errorf("scheme %q requires rt >= 1, got %d", s.Kind, s.RT)
+	}
+	return nil
+}
+
 // JobView is the wire representation of a job.
 type JobView struct {
 	ID        string `json:"id"`
@@ -108,10 +128,12 @@ type Server struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	done    []*job // completed jobs, oldest first, for eviction
-	closing bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	done      []*job // completed jobs, oldest first, for eviction
+	campaigns map[string]*campaign
+	campOrder []*campaign // registration order, for eviction
+	closing   bool
 }
 
 // New builds a Server from cfg.
@@ -136,17 +158,22 @@ func New(cfg Config) (*Server, error) {
 		maxDone = maxCompletedJobs
 	}
 	s := &Server{
-		store:   cfg.Store,
-		run:     run,
-		workers: workers,
-		maxDone: maxDone,
-		queue:   make(chan *job, depth),
-		stop:    make(chan struct{}),
-		jobs:    make(map[string]*job),
+		store:     cfg.Store,
+		run:       run,
+		workers:   workers,
+		maxDone:   maxDone,
+		queue:     make(chan *job, depth),
+		stop:      make(chan struct{}),
+		jobs:      make(map[string]*job),
+		campaigns: make(map[string]*campaign),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/table", s.handleCampaignTable)
+	s.mux.HandleFunc("GET /v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -283,114 +310,147 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
+	if err := validateScheme(req.Scheme); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	key, err := lard.KeyFor(req.Benchmark, req.Scheme, req.Options)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
+	view, shed, err := s.ensureJob(key, req)
+	switch {
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	case shed:
+		writeError(w, http.StatusTooManyRequests, errors.New("run queue is full, retry later"))
+	case view.Status == StatusDone:
+		writeJSON(w, http.StatusOK, view)
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+// ensureJob guarantees the run with content address key is progressing,
+// whether submitted directly or fanned out by a campaign: an existing job
+// is attached to (failed ones re-enqueued for retry), a previously stored
+// result materializes a completed job without touching the queue, and a
+// novel run is enqueued. It returns a snapshot view of the job (Cached set
+// when this caller got it without simulating), shed=true when the queue is
+// full (nothing enrolled), or an error (shutdown, or a store fault).
+func (s *Server) ensureJob(key string, req RunRequest) (view JobView, shed bool, err error) {
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
-		return
+		return JobView{}, false, errShuttingDown
 	}
 	if j, ok := s.jobs[key]; ok {
-		code, view, err := s.resubmitLocked(j)
-		s.mu.Unlock()
-		if err != nil {
-			writeError(w, code, err)
-			return
-		}
-		writeJSON(w, code, view)
-		return
+		defer s.mu.Unlock()
+		return s.attachLocked(j)
 	}
 	s.mu.Unlock()
 
-	// Fast path: a previously computed run answers synchronously, without
-	// touching the queue or the simulator.
+	// Off the lock: a previously computed run answers from the store,
+	// synchronously and without simulating.
 	res, hit, err := lard.LookupStored(s.store, req.Benchmark, req.Scheme, req.Options)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return JobView{}, false, err
 	}
 
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	// Re-check closing: Shutdown may have drained the queue while we were
 	// off the lock doing the store lookup — enqueueing now would strand the
 	// job in "queued" forever.
 	if s.closing {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
-		return
+		return JobView{}, false, errShuttingDown
 	}
-	if prev, raced := s.jobs[key]; raced {
-		code, view, err := s.resubmitLocked(prev)
-		s.mu.Unlock()
-		if err != nil {
-			writeError(w, code, err)
-			return
-		}
-		writeJSON(w, code, view)
-		return
-	}
-	if hit {
-		j := &job{id: key, req: req, status: StatusDone, cached: true, result: res}
-		s.jobs[key] = j
-		s.completedLocked(j)
-		view := viewOf(j)
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, view)
-		return
+	if j, raced := s.jobs[key]; raced {
+		return s.attachLocked(j)
 	}
 	j := &job{id: key, req: req, status: StatusQueued}
+	if hit {
+		j.status, j.cached, j.result = StatusDone, true, res
+		s.jobs[key] = j
+		s.completedLocked(j)
+		return viewOf(j), false, nil
+	}
 	select {
 	case s.queue <- j:
 		s.jobs[key] = j
-		view := viewOf(j)
-		s.mu.Unlock()
-		writeJSON(w, http.StatusAccepted, view)
+		return viewOf(j), false, nil
 	default:
-		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, errors.New("run queue is full, retry later"))
+		return JobView{}, true, nil
 	}
 }
 
-// resubmitLocked answers a POST whose content address already has a job.
-// Completed jobs are re-served as cache hits (200), pending ones attached
-// to (202), and failed ones re-enqueued for retry. Callers hold s.mu.
-func (s *Server) resubmitLocked(j *job) (int, JobView, error) {
+// attachLocked resolves an ensureJob call against an existing job record:
+// completed jobs are cache hits (whatever their own history, *this* request
+// is served without simulating), failed ones re-enqueue for retry, pending
+// ones are simply attached to. Callers hold s.mu.
+func (s *Server) attachLocked(j *job) (JobView, bool, error) {
 	switch j.status {
 	case StatusDone:
-		// Whatever the job's own history, *this* request is served without
-		// simulating: a cache hit.
 		view := viewOf(j)
 		view.Cached = true
-		return http.StatusOK, view, nil
+		return view, false, nil
 	case StatusFailed:
 		select {
 		case s.queue <- j:
 			j.status, j.err = StatusQueued, ""
-			return http.StatusAccepted, viewOf(j), nil
+			return viewOf(j), false, nil
 		default:
-			return http.StatusTooManyRequests, JobView{}, errors.New("run queue is full, retry later")
+			return JobView{}, true, nil
 		}
 	default:
-		return http.StatusAccepted, viewOf(j), nil
+		return viewOf(j), false, nil
 	}
 }
 
-// handleGet implements GET /v1/runs/{id}.
+// handleGet implements GET /v1/runs/{id}. An id missing from the job
+// registry — typically evicted after completion — falls back to a store
+// lookup by content address: the registry only covers polling windows, but
+// a computed result is never forgotten while the store holds it.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
-	if !ok {
+	if ok {
+		writeJSON(w, http.StatusOK, s.view(j))
+		return
+	}
+	res, found, err := lard.StoredByKey(s.store, id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !found {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.view(j))
+	writeJSON(w, http.StatusOK, JobView{
+		ID:        id,
+		Benchmark: res.Benchmark,
+		Scheme:    res.Scheme,
+		Status:    StatusDone,
+		Cached:    true,
+		Result:    res,
+	})
+}
+
+// handleResults implements GET /v1/results: the index of stored run specs.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	idx, err := s.store.Index()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(idx), "results": idx})
 }
 
 // handleBenchmarks implements GET /v1/benchmarks.
@@ -409,6 +469,7 @@ type statsView struct {
 	QueueLen     int               `json:"queue_len"`
 	QueueCap     int               `json:"queue_cap"`
 	Jobs         map[string]int    `json:"jobs"`
+	Campaigns    int               `json:"campaigns"`
 	Store        resultstore.Stats `json:"store"`
 	StoreEntries int               `json:"store_entries"`
 	StoreDir     string            `json:"store_dir,omitempty"`
@@ -421,12 +482,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, j := range s.jobs {
 		counts[j.status]++
 	}
+	nCampaigns := len(s.campaigns)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, statsView{
 		Workers:      s.workers,
 		QueueLen:     len(s.queue),
 		QueueCap:     cap(s.queue),
 		Jobs:         counts,
+		Campaigns:    nCampaigns,
 		Store:        s.store.Stats(),
 		StoreEntries: s.store.Len(),
 		StoreDir:     s.store.Dir(),

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -359,13 +360,14 @@ func TestShutdownFailsQueuedJobs(t *testing.T) {
 }
 
 // TestCompletedJobEviction bounds the finished-job registry: old completed
-// jobs are evicted (404 on GET) but their runs stay servable from the
-// store.
+// jobs are evicted from the registry, but GET falls back to the store by
+// content address, so a client polling an evicted id still receives the
+// result instead of a bogus 404.
 func TestCompletedJobEviction(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2, MaxCompletedJobs: 2})
 
 	_, v1 := post(t, ts, smallRun(1))
-	poll(t, ts, v1.ID)
+	first := poll(t, ts, v1.ID)
 	for seed := uint64(2); seed <= 4; seed++ {
 		_, v := post(t, ts, smallRun(seed))
 		poll(t, ts, v.ID)
@@ -373,22 +375,77 @@ func TestCompletedJobEviction(t *testing.T) {
 
 	s.mu.Lock()
 	n := len(s.jobs)
+	_, stillThere := s.jobs[v1.ID]
 	s.mu.Unlock()
 	if n > 2 {
 		t.Fatalf("registry holds %d jobs, want <= 2", n)
 	}
+	if stillThere {
+		t.Fatal("oldest job must have been evicted from the registry")
+	}
+
+	// GET on the evicted id answers from the store, not 404.
 	resp, err := http.Get(ts.URL + "/v1/runs/" + v1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evicted JobView
+	err = json.NewDecoder(resp.Body).Decode(&evicted)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evicted job GET = %d, want 200 via store fallback", resp.StatusCode)
+	}
+	if evicted.Status != StatusDone || !evicted.Cached || evicted.Result == nil {
+		t.Fatalf("store-fallback view = %+v", evicted)
+	}
+	if !reflect.DeepEqual(evicted.Result, first.Result) {
+		t.Fatal("store fallback must serve the original result")
+	}
+	if computes := s.store.Stats().Computes; computes != 4 {
+		t.Fatalf("fallback must not simulate (computes = %d, want 4)", computes)
+	}
+
+	// A genuinely unknown id is still 404.
+	resp, err = http.Get(ts.URL + "/v1/runs/" + strings.Repeat("ab", 32))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("evicted job GET = %d, want 404", resp.StatusCode)
+		t.Fatalf("unknown id GET = %d, want 404", resp.StatusCode)
 	}
-	// The run itself survives in the store: resubmission is a cache hit.
+
+	// Resubmission of the evicted run is likewise a cache hit.
 	code, hit := post(t, ts, smallRun(1))
 	if code != http.StatusOK || !hit.Cached || hit.Status != StatusDone {
 		t.Fatalf("evicted run resubmit = %d %+v", code, hit)
+	}
+}
+
+// TestRunRequestValidation pins the server-side RT guard: a decoded RT
+// scheme without a threshold is rejected up front, never silently simulated
+// at the default threshold.
+func TestRunRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"benchmark":"BARNES","scheme":{"kind":"RT","classifier_k":3,"cluster_size":1},"options":{"cores":16}}`
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e map[string]string
+	err = json.NewDecoder(resp.Body).Decode(&e)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("RT-0 submit = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(e["error"], "rt") {
+		t.Fatalf("error %q should name the rt field", e["error"])
 	}
 }
 

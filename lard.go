@@ -86,8 +86,8 @@ func (s Scheme) Label() string {
 
 // Options configure a run.
 type Options struct {
-	// Cores overrides the core count (default 64; must be a square mesh:
-	// 16 or 64 are supported presets).
+	// Cores overrides the core count (default 64). The supported presets
+	// are 4, 16 and 64; any other value is rejected.
 	Cores int `json:"cores,omitempty"`
 	// OpsScale scales per-core operation counts; 1.0 (default) is the
 	// profile's nominal length, smaller values speed up exploration.
@@ -213,18 +213,9 @@ func RunWithStore(st *resultstore.Store, benchmark string, s Scheme, o Options) 
 // buildConfig translates the public Scheme/Options into the internal
 // configuration, validating the combination.
 func buildConfig(s Scheme, o Options) (*config.Config, sim.Options, error) {
-	var cfg *config.Config
-	switch o.Cores {
-	case 0, 64:
-		cfg = config.Default64()
-	case 16:
-		cfg = config.Small()
-	case 4:
-		cfg = config.Small()
-		cfg.Cores, cfg.MeshW, cfg.MeshH = 4, 2, 2
-		cfg.DRAMControllers = 2
-	default:
-		return nil, sim.Options{}, fmt.Errorf("lard: unsupported core count %d (use 4, 16 or 64)", o.Cores)
+	cfg, err := config.ForCores(o.Cores)
+	if err != nil {
+		return nil, sim.Options{}, err
 	}
 	opt := sim.Options{
 		Seed:            o.Seed,
@@ -243,10 +234,14 @@ func buildConfig(s Scheme, o Options) (*config.Config, sim.Options, error) {
 		opt.Scheme = coherence.ASR
 		opt.ASRLevel = s.ASRLevel
 	case "RT":
-		opt.Scheme = coherence.LocalityAware
-		if s.RT > 0 {
-			cfg.RT = s.RT
+		// An unset threshold must not silently fall back to the config
+		// default while Label() reports "RT-0" — that mislabels every
+		// downstream table and store entry.
+		if s.RT < 1 {
+			return nil, sim.Options{}, fmt.Errorf("lard: RT scheme requires a replication threshold >= 1, got %d (did you mean LocalityAware(3)?)", s.RT)
 		}
+		opt.Scheme = coherence.LocalityAware
+		cfg.RT = s.RT
 		cfg.ClassifierK = s.ClassifierK
 		if s.ClusterSize > 0 {
 			cfg.ClusterSize = s.ClusterSize

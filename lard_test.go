@@ -63,6 +63,30 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRTZeroRejected is a regression test: LocalityAware(0) used to
+// silently simulate the config-default threshold (RT=3) while labeling the
+// run "RT-0". It must be an error, on every store-addressed path.
+func TestRTZeroRejected(t *testing.T) {
+	for _, s := range []lard.Scheme{
+		lard.LocalityAware(0),
+		{Kind: "RT", ClassifierK: 3, ClusterSize: 1},
+		{Kind: "RT", RT: -2, ClassifierK: 3, ClusterSize: 1},
+	} {
+		if _, err := lard.Run("BARNES", s, lard.Options{Cores: 16, OpsScale: 0.02}); err == nil {
+			t.Errorf("Run with %+v must error", s)
+		}
+		if _, err := lard.KeyFor("BARNES", s, lard.Options{Cores: 16}); err == nil {
+			t.Errorf("KeyFor with %+v must error", s)
+		}
+	}
+	// The threshold actually takes effect: RT-1 and RT-3 are different runs.
+	a := run(t, "BARNES", lard.LocalityAware(1), lard.Options{})
+	b := run(t, "BARNES", lard.LocalityAware(3), lard.Options{})
+	if a.Scheme != "RT-1" || b.Scheme != "RT-3" {
+		t.Fatalf("labels %q/%q", a.Scheme, b.Scheme)
+	}
+}
+
 func TestResultShape(t *testing.T) {
 	res := run(t, "BARNES", lard.LocalityAware(3), lard.Options{CheckInvariants: true})
 	if res.Benchmark != "BARNES" || res.Scheme != "RT-3" {
