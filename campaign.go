@@ -123,18 +123,6 @@ func CampaignKeyFor(members []CampaignMember) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// FigureSchemes returns the seven scheme columns of Figures 6-8 as wire
-// schemes, for submitting a figure as one campaign. The ASR column is
-// pinned at replication level 0.5: the paper's per-benchmark best-of-five
-// selection is not a single content-addressed run (internal/harness's
-// AutoASR variant performs it for local campaigns).
-func FigureSchemes() []Scheme {
-	return []Scheme{
-		SNUCA(), RNUCA(), VictimReplication(), ASR(0.5),
-		LocalityAware(1), LocalityAware(3), LocalityAware(8),
-	}
-}
-
 // StoredByKey returns the stored result whose content address is key, if
 // the store holds one. It is the polling fallback for ids that outlived a
 // server's job registry: the registry forgets, the store does not.

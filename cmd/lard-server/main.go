@@ -43,7 +43,14 @@ func main() {
 	fatal(err)
 	svc.Start()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Submissions and polls are small JSON bodies; a peer that cannot
+		// finish its headers in 10 s is stalling a connection slot
+		// (slowloris), not simulating.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "lard-server: listening on %s (store %q)\n", *addr, *storeDir)

@@ -7,7 +7,9 @@
 //	lard -bench BARNES -scheme RT -rt 3 [-k 3] [-cluster 1] [-cores 64]
 //	     [-scale 1.0] [-seed 0] [-asr 1.0] [-lru] [-oracle] [-runs]
 //
-// Schemes: S-NUCA, R-NUCA, VR, ASR, RT.
+// The scheme kinds come from the replication-policy registry (-schemes
+// lists them with their tunables); each scheme consumes only the flags its
+// policy declares.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"lard"
 )
@@ -22,8 +25,8 @@ import (
 func main() {
 	var (
 		bench   = flag.String("bench", "BARNES", "benchmark name (see -list)")
-		scheme  = flag.String("scheme", "RT", "S-NUCA | R-NUCA | VR | ASR | RT")
-		rt      = flag.Int("rt", 3, "replication threshold (RT scheme)")
+		scheme  = flag.String("scheme", "RT", "scheme kind: "+strings.Join(lard.SchemeKinds(), " | "))
+		rt      = flag.Int("rt", 3, "replication threshold (RT and EHC schemes)")
 		k       = flag.Int("k", 3, "Limited-k classifier size, 0 = Complete (RT scheme)")
 		cluster = flag.Int("cluster", 1, "replication cluster size (RT scheme)")
 		asr     = flag.Float64("asr", 1.0, "ASR replication level (ASR scheme)")
@@ -34,12 +37,22 @@ func main() {
 		oracle  = flag.Bool("oracle", false, "enable the §2.3.2 lookup oracle")
 		runs    = flag.Bool("runs", false, "collect the Figure-1 run-length distribution")
 		list    = flag.Bool("list", false, "list benchmark names and exit")
+		schemes = flag.Bool("schemes", false, "list registered schemes with their tunables and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, b := range lard.Benchmarks() {
 			fmt.Println(b)
+		}
+		return
+	}
+	if *schemes {
+		for _, info := range lard.RegisteredSchemes() {
+			fmt.Printf("%-8s %s\n", info.Kind, info.Description)
+			for _, p := range info.Params {
+				fmt.Printf("           %-14s %s\n", p.Name, p.Doc)
+			}
 		}
 		return
 	}

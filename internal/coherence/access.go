@@ -66,11 +66,8 @@ func (e *Engine) doAccess(c mem.CoreID, t mem.Cycles, op Op) AccessResult {
 	home := e.homeFor(op, c, t)
 
 	// Replica lookup at the local slice (or cluster replica slice).
-	if e.scheme.usesReplicas() {
-		rslice := c
-		if e.scheme == LocalityAware {
-			rslice = e.replicaSliceFor(op.Line, c)
-		}
+	if e.usesReplicas {
+		rslice := e.policy.ReplicaSlice(op.Line, c)
 		if rslice != home {
 			if done, hit := e.replicaLookup(c, rslice, op, t, &res); hit {
 				res.Done = done
@@ -111,16 +108,17 @@ func (e *Engine) replicaLookup(c, rslice mem.CoreID, op Op, t mem.Cycles, res *A
 	replicaDirty := l.Dirty
 	sharedRO := !l.Meta.everWritten
 	l.Meta.replicaReuse = satReuse(l.Meta.replicaReuse, e.cfg.RT)
-	if e.scheme == VR {
-		// Victim Replication is exclusive: a replica hit moves the line into
-		// the L1 and invalidates the LLC copy (§4.1).
+	consumed := e.policy.ConsumeReplicaOnHit()
+	if consumed {
+		// Exclusive replica (VR-style): a hit moves the line into the L1 and
+		// invalidates the LLC copy (§4.1).
 		tl.llc.Invalidate(op.Line)
 	}
 	t = e.mesh.Send(rslice, c, e.dataFlits(), t)
 
 	l1State := state
-	fillDirty := replicaDirty && e.scheme == VR // the move carries dirtiness
-	if e.cfg.ClusterSize > 1 && e.scheme == LocalityAware {
+	fillDirty := replicaDirty && consumed // the move carries dirtiness
+	if e.policy.ClusterReplication() {
 		// A cluster replica serves several cores' L1s; exclusivity lives at
 		// the replica, so member L1 copies are granted Shared, and a member
 		// write on a writable replica first back-invalidates its siblings
@@ -179,8 +177,8 @@ func (e *Engine) atHome(c, home mem.CoreID, op Op, t mem.Cycles, res *AccessResu
 	// Request leg. Under cluster replication the request was already
 	// forwarded to the replica slice, which then forwards it to the home.
 	src := c
-	if e.scheme == LocalityAware && !e.cfg.LookupOracle {
-		if rs := e.replicaSliceFor(op.Line, c); rs != home {
+	if e.usesReplicas && !e.cfg.LookupOracle {
+		if rs := e.policy.ReplicaSlice(op.Line, c); rs != home {
 			src = rs
 		}
 	}
@@ -258,16 +256,11 @@ func (e *Engine) homeRead(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycles
 	e.chargeLLCTag(true) // LRU update
 	e.tiles[home].llc.Touch(hl)
 
-	// Replication decision (§2.2.1). The classifier observes every home
-	// access; a replica is only physically created when the replica slice is
-	// not the home itself.
-	rslice := e.replicaSliceFor(la, c)
-	replicate := false
-	if e.scheme == LocalityAware {
-		clf := e.classifierOf(ent)
-		replicate = clf.OnReadHome(c) && home != c && rslice != home
-		e.chargeDir(true)
-	}
+	// Replication decision (§2.2.1). The policy observes every home access
+	// (its reuse tracking advances on local hits too); a replica is only
+	// physically created when the replica slice is not the home itself.
+	rslice := e.policy.ReplicaSlice(la, c)
+	replicate := e.policy.ReplicateOnRead(ent, c) && home != c && rslice != home
 
 	// Grant Exclusive when the requester will be the only holder.
 	grant := mem.Shared
@@ -291,7 +284,7 @@ func (e *Engine) homeRead(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycles
 		return t
 	}
 
-	if replicate && e.cfg.ClusterSize > 1 {
+	if replicate && e.policy.ClusterReplication() {
 		// Cluster replication: data flows home -> replica slice -> L1, and
 		// the home registers the replica slice so invalidations reach the
 		// whole cluster hierarchy (§2.3.4). Member L1 copies are Shared;
@@ -329,19 +322,14 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 	soleSharer := ent.Sharers.Count() == 0 ||
 		(ent.Sharers.Count() == 1 && ent.Sharers.Has(c))
 
-	var clf coreClassifier
-	if e.scheme == LocalityAware {
-		clf = e.classifierOf(ent)
-	}
-
 	// Invalidate all other sharers and cluster replicas.
-	t = e.invalidateSharers(c, home, la, ent, clf, t, res)
+	t = e.invalidateSharers(c, home, la, ent, t, res)
 
 	// The writer's own replica (necessarily not writable, or the access
-	// would have hit it) is invalidated as well; the classifier sees it as
-	// an invalidation so the (replica+home) reuse rule applies. Cluster
+	// would have hit it) is invalidated as well; the policy sees it as an
+	// invalidation so the (replica+home) reuse rule applies. Cluster
 	// replicas were already handled through the ReplicaSlices loop.
-	if e.scheme.usesReplicas() && e.cfg.ClusterSize <= 1 {
+	if e.usesReplicas && e.cfg.ClusterSize <= 1 {
 		wtl := e.tiles[c]
 		if l := wtl.llc.Lookup(la); l != nil && !l.Meta.home {
 			reuse := l.Meta.replicaReuse
@@ -351,18 +339,13 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 			}
 			wtl.llc.Invalidate(la)
 			e.chargeLLCTag(true)
-			if clf != nil {
-				clf.OnReplicaGone(c, reuse, true)
-			}
+			e.policy.OnReplicaGone(ent, c, reuse, true)
 		}
 	}
 
-	if clf != nil {
-		// §2.2.2: non-replica sharers other than the writer have not shown
-		// enough reuse; reset their counters.
-		clf.OnOthersReset(c)
-		e.chargeDir(true)
-	}
+	// §2.2.2: non-replica sharers other than the writer have not shown
+	// enough reuse; the policy resets their counters.
+	e.policy.OnWrite(ent, c)
 
 	hadCopy := e.tiles[c].l1For(op.Type).Lookup(la) != nil
 	ent.Sharers.Clear()
@@ -374,11 +357,8 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 	e.chargeLLCTag(true)
 	e.tiles[home].llc.Touch(hl)
 
-	rslice := e.replicaSliceFor(la, c)
-	replicate := false
-	if clf != nil {
-		replicate = clf.OnWriteHome(c, soleSharer) && home != c && rslice != home
-	}
+	rslice := e.policy.ReplicaSlice(la, c)
+	replicate := e.policy.ReplicateOnWrite(ent, c, soleSharer) && home != c && rslice != home
 	version := ent.Version
 
 	// Upgrade replies (writer already holds an S copy) carry no data.
@@ -397,7 +377,7 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 		return t
 	}
 
-	if replicate && e.cfg.ClusterSize > 1 {
+	if replicate && e.policy.ClusterReplication() {
 		tr := e.mesh.Send(home, rslice, flits, t)
 		tr += e.cfg.LLCDataLatency
 		e.insertReplica(rslice, la, mem.Modified, false, version, op.Class, true, tr)
@@ -418,10 +398,10 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 
 // invalidateSharers invalidates every sharer except the writer, collecting
 // acknowledgements (with replica-reuse counters, §2.2.3) and feeding the
-// classifier. With an overflowed ACKwise set the probes are broadcast to
-// every core but only actual holders acknowledge (§2.1). It returns the time
-// at which all acknowledgements have arrived.
-func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent *dirEntry, clf coreClassifier, t mem.Cycles, res *AccessResult) mem.Cycles {
+// policy. With an overflowed ACKwise set the probes are broadcast to every
+// core but only actual holders acknowledge (§2.1). It returns the time at
+// which all acknowledgements have arrived.
+func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent *dirEntry, t mem.Cycles, res *AccessResult) mem.Cycles {
 	var targets []mem.CoreID
 	if ent.Sharers.Overflowed() {
 		for i := 0; i < e.cfg.Cores; i++ {
@@ -454,8 +434,8 @@ func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent
 		}
 		back := e.mesh.Send(s, home, flits, tp)
 		maxAck = max(maxAck, back)
-		if clf != nil && inv.hadReplica {
-			clf.OnReplicaGone(s, inv.replicaReuse, true)
+		if inv.hadReplica {
+			e.policy.OnReplicaGone(ent, s, inv.replicaReuse, true)
 		}
 		ent.Sharers.Remove(s)
 	}
@@ -474,8 +454,8 @@ func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent
 		}
 		back := e.mesh.Send(rs, home, flits, tp)
 		maxAck = max(maxAck, back)
-		if clf != nil && inv.hadReplica {
-			e.demoteCluster(clf, rs, inv.replicaReuse, true)
+		if inv.hadReplica {
+			e.policy.OnClusterReplicaGone(ent, rs, inv.replicaReuse, true)
 		}
 		ent.RemoveReplicaSlice(rs)
 		any = true
@@ -514,7 +494,7 @@ func (e *Engine) invalidateAt(s mem.CoreID, la mem.LineAddr) invResult {
 		r.dirty = r.dirty || rem.Dirty
 		e.chargeL1(false, true)
 	}
-	if e.scheme == LocalityAware && e.cfg.ClusterSize > 1 {
+	if e.policy.ClusterReplication() {
 		// Cluster replicas are registered at the home and invalidated
 		// hierarchically via invalidateClusterReplica; the per-sharer probe
 		// must not remove them behind the home's back.
@@ -589,8 +569,8 @@ func (e *Engine) downgradeAt(s mem.CoreID, la mem.LineAddr) bool {
 		e.chargeL1(false, true)
 	}
 	slices := []mem.CoreID{s}
-	if e.scheme == LocalityAware && e.cfg.ClusterSize > 1 {
-		if rs := e.replicaSliceFor(la, s); rs != s {
+	if e.policy.ClusterReplication() {
+		if rs := e.policy.ReplicaSlice(la, s); rs != s {
 			slices = append(slices, rs)
 		}
 	}

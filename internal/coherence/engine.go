@@ -52,6 +52,12 @@ type Engine struct {
 	opts   Options
 	scheme Scheme
 
+	// policy holds the scheme's decision points; usesReplicas and
+	// rnucaPlacement cache the descriptor traits consulted on hot paths.
+	policy         Policy
+	usesReplicas   bool
+	rnucaPlacement bool
+
 	tiles []*tile
 	mesh  *network.Mesh
 	dram  *dram.Subsystem
@@ -83,10 +89,16 @@ func (e *Engine) ReplicaStats() (inserts, hits [mem.NumDataClasses]uint64) {
 	return e.replicaInserts, e.replicaHits
 }
 
-// New returns an engine for the given configuration and options.
+// New returns an engine for the given configuration and options. The scheme
+// must be registered (see Register); like an invalid configuration, an
+// unregistered scheme is a programming error and panics.
 func New(cfg *config.Config, opts Options) *Engine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
+	}
+	desc, ok := Describe(opts.Scheme)
+	if !ok {
+		panic(fmt.Sprintf("coherence: scheme %d is not registered", uint8(opts.Scheme)))
 	}
 	meter := &energy.Meter{}
 	ep := energy.DefaultParams()
@@ -107,6 +119,9 @@ func New(cfg *config.Config, opts Options) *Engine {
 		},
 		busy: make(map[busyKey]mem.Cycles),
 	}
+	e.policy = desc.New(e)
+	e.usesReplicas = desc.UsesReplicas
+	e.rnucaPlacement = desc.RNUCAPlacement
 	e.tiles = make([]*tile, cfg.Cores)
 	for i := range e.tiles {
 		e.tiles[i] = &tile{
@@ -244,7 +259,7 @@ func victimAllowedVR(ways []cacheLine) int {
 // homeOfLine returns the home slice of a line outside of an access (eviction
 // and writeback paths), for requester/holder c.
 func (e *Engine) homeOfLine(la mem.LineAddr, c mem.CoreID) mem.CoreID {
-	if !e.scheme.usesRNUCAPlacement() {
+	if !e.rnucaPlacement {
 		return e.interleave(la)
 	}
 	info, ok := e.pages.pages[mem.PageOfLine(la)]
@@ -252,7 +267,7 @@ func (e *Engine) homeOfLine(la mem.LineAddr, c mem.CoreID) mem.CoreID {
 		panic(fmt.Sprintf("coherence: no page record for cached line %#x", uint64(la)))
 	}
 	switch {
-	case info.class == pageInstr && e.scheme == RNUCA:
+	case info.class == pageInstr && e.policy.InstrClusterHome():
 		return e.instrHome(la, c)
 	case info.class == pagePrivate:
 		return info.owner

@@ -26,7 +26,7 @@ func wr(e *Engine, c mem.CoreID, t mem.Cycles, la mem.LineAddr) AccessResult {
 // shared makes la's page shared under R-NUCA-style placement by touching a
 // sibling line from another core first.
 func sharedLine(e *Engine, la mem.LineAddr) {
-	if !e.scheme.usesRNUCAPlacement() {
+	if !e.rnucaPlacement {
 		return
 	}
 	rd(e, 14, 0, la^1)

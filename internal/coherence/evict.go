@@ -138,7 +138,7 @@ func (e *Engine) replicaEvicted(slice mem.CoreID, victim cacheLine, t mem.Cycles
 	dirty := victim.Dirty
 
 	// Back-invalidate the L1 copies served by this replica.
-	if e.scheme == LocalityAware && e.cfg.ClusterSize > 1 {
+	if e.policy.ClusterReplication() {
 		base := (int(slice) / e.cfg.ClusterSize) * e.cfg.ClusterSize
 		for i := 0; i < e.cfg.ClusterSize; i++ {
 			mt := e.tiles[base+i]
@@ -187,9 +187,9 @@ func (e *Engine) replicaEvicted(slice mem.CoreID, victim cacheLine, t mem.Cycles
 		hl.Dirty = true
 		e.chargeLLCData(true)
 	}
-	if e.scheme == LocalityAware && e.cfg.ClusterSize > 1 {
+	if e.policy.ClusterReplication() {
 		ent.RemoveReplicaSlice(slice)
-		e.demoteCluster(e.classifierOf(ent), slice, victim.Meta.replicaReuse, false)
+		e.policy.OnClusterReplicaGone(ent, slice, victim.Meta.replicaReuse, false)
 	} else {
 		// With the keep-L1 strategy the core remains a sharer while its L1
 		// still holds the line; the second acknowledgement (sent from
@@ -200,9 +200,7 @@ func (e *Engine) replicaEvicted(slice mem.CoreID, victim cacheLine, t mem.Cycles
 				ent.ClearOwner()
 			}
 		}
-		if e.scheme == LocalityAware {
-			e.classifierOf(ent).OnReplicaGone(slice, victim.Meta.replicaReuse, false)
-		}
+		e.policy.OnReplicaGone(ent, slice, victim.Meta.replicaReuse, false)
 	}
 	e.chargeDir(true)
 }
@@ -235,11 +233,8 @@ func (e *Engine) handleL1Evict(c mem.CoreID, victim l1Line, t mem.Cycles) {
 
 	// Replica resident at the replica slice: merge (§2.2.3); the core stays
 	// a sharer through its replica, so the home is not notified.
-	rslice := c
-	if e.scheme == LocalityAware {
-		rslice = e.replicaSliceFor(la, c)
-	}
-	if e.scheme.usesReplicas() {
+	if e.usesReplicas {
+		rslice := e.policy.ReplicaSlice(la, c)
 		if l := e.tiles[rslice].llc.Lookup(la); l != nil && !l.Meta.home {
 			if rslice != c {
 				flits := e.ctrlFlits()
@@ -260,16 +255,9 @@ func (e *Engine) handleL1Evict(c mem.CoreID, victim l1Line, t mem.Cycles) {
 		}
 	}
 
-	// Victim Replication: use the local slice as a victim cache; the line is
-	// always written into the slice (clean or dirty), which is part of VR's
-	// extra LLC energy (§4.1).
-	if e.scheme == VR && e.tryVictimInsert(c, victim, t) {
-		return
-	}
-	// ASR: replicate only never-written (shared read-only) clean victims,
-	// with probability given by the replication level (§3.3).
-	if e.scheme == ASR && !victim.Dirty && victim.Meta.sharedRO &&
-		e.rng.Float64() < e.opts.ASRLevel && e.tryVictimInsert(c, victim, t) {
+	// Victim replication (VR always, ASR selectively, §3.3): the policy may
+	// absorb the victim into the local slice, completing its disposal.
+	if e.policy.VictimReplicate(c, victim, t) {
 		return
 	}
 

@@ -63,7 +63,7 @@ func (pt *pageTable) classify(line mem.LineAddr, c mem.CoreID, instr bool) (info
 // function is non-nil when a page reclassification requires the old owner's
 // copies to be flushed; the engine invokes it at transaction time.
 func (e *Engine) homeFor(op Op, c mem.CoreID, t mem.Cycles) mem.CoreID {
-	if !e.scheme.usesRNUCAPlacement() {
+	if !e.rnucaPlacement {
 		return e.interleave(op.Line)
 	}
 	info, reclassified, oldOwner := e.pages.classify(op.Line, c, op.Type.IsInstr())
@@ -71,7 +71,7 @@ func (e *Engine) homeFor(op Op, c mem.CoreID, t mem.Cycles) mem.CoreID {
 		e.flushPage(mem.PageOfLine(op.Line), oldOwner, t)
 	}
 	switch {
-	case info.class == pageInstr && e.scheme == RNUCA:
+	case info.class == pageInstr && e.policy.InstrClusterHome():
 		// Rotational interleaving within the requester's 4-core cluster.
 		return e.instrHome(op.Line, c)
 	case info.class == pagePrivate:
@@ -99,9 +99,9 @@ func (e *Engine) instrHome(line mem.LineAddr, c mem.CoreID) mem.CoreID {
 	return mem.CoreID(clusterBase + int(uint64(line)%instrClusterSize))
 }
 
-// replicaSliceFor returns the LLC slice where the locality-aware scheme
-// would place a replica for requester c: the local slice for cluster size 1,
-// or the rotationally-interleaved member of c's cluster otherwise (§2.3.4).
+// replicaSliceFor returns the LLC slice where a cluster-aware policy would
+// place a replica for requester c: the local slice for cluster size 1, or
+// the rotationally-interleaved member of c's cluster otherwise (§2.3.4).
 func (e *Engine) replicaSliceFor(line mem.LineAddr, c mem.CoreID) mem.CoreID {
 	if e.cfg.ClusterSize <= 1 {
 		return c

@@ -1,0 +1,16 @@
+package coherence
+
+// snucaPolicy is the Static-NUCA baseline: every line address-interleaved
+// across the LLC slices, no replication. It is exactly the engine's shared
+// machinery with every policy hook at its default.
+type snucaPolicy struct{ basePolicy }
+
+func init() {
+	Register(Descriptor{
+		Scheme:      SNUCA,
+		Name:        "S-NUCA",
+		Description: "Static-NUCA baseline: lines address-interleaved across all LLC slices, no replication",
+		Columns:     []Column{{Label: "S-NUCA"}},
+		New:         func(e *Engine) Policy { return snucaPolicy{basePolicy{e}} },
+	})
+}

@@ -1,9 +1,11 @@
 // Package coherence implements the memory-system model of the paper: private
 // L1 caches kept coherent with an invalidation-based MESI protocol over an
 // ACKwise-p limited directory integrated with the distributed LLC slices
-// (§2.1), plus the five LLC management schemes of the evaluation: Static-
-// NUCA, Reactive-NUCA, Victim Replication, Adaptive Selective Replication,
-// and the paper's locality-aware replication protocol (§2.2).
+// (§2.1), plus a pluggable registry of LLC management schemes (policy.go).
+// The five schemes of the paper's evaluation — Static-NUCA, Reactive-NUCA,
+// Victim Replication, Adaptive Selective Replication, and the paper's
+// locality-aware replication protocol (§2.2) — each register a Policy in
+// their own policy_*.go file; additional schemes plug in the same way.
 //
 // Coherence transactions execute atomically at the home directory with
 // timing composed from the network, DRAM and queueing models; requests to the
@@ -42,32 +44,15 @@ const (
 	LocalityAware
 )
 
-// String implements fmt.Stringer, matching the labels of Figures 6-8.
+// String implements fmt.Stringer, matching the labels of Figures 6-8. The
+// names come from the policy registry; unregistered ids render a
+// placeholder.
 func (s Scheme) String() string {
-	switch s {
-	case SNUCA:
-		return "S-NUCA"
-	case RNUCA:
-		return "R-NUCA"
-	case VR:
-		return "VR"
-	case ASR:
-		return "ASR"
-	case LocalityAware:
-		return "RT"
-	default:
-		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	if d, ok := Describe(s); ok {
+		return d.Name
 	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
 }
-
-// usesReplicas reports whether the scheme ever places replicas in LLC slices.
-func (s Scheme) usesReplicas() bool { return s == VR || s == ASR || s == LocalityAware }
-
-// usesRNUCAPlacement reports whether the scheme homes pages R-NUCA-style
-// (private at owner, shared interleaved) rather than pure address
-// interleaving. The locality-aware protocol builds on R-NUCA placement
-// (§2.1) but does not use its instruction-cluster replication.
-func (s Scheme) usesRNUCAPlacement() bool { return s == RNUCA || s == LocalityAware }
 
 // Op is one memory reference presented to the engine.
 type Op struct {

@@ -97,17 +97,26 @@ type Variant struct {
 	TrackRuns bool
 }
 
-// StandardVariants returns the seven columns of Figures 6-8.
+// StandardVariants returns the scheme columns of Figures 6-8 (the seven
+// paper columns, in figure order), derived from the standard columns each
+// scheme's registry descriptor declares: a registered scheme appears in the
+// main matrix exactly when its Descriptor lists Columns.
 func StandardVariants() []Variant {
-	return []Variant{
-		{Label: "S-NUCA", Scheme: coherence.SNUCA},
-		{Label: "R-NUCA", Scheme: coherence.RNUCA},
-		{Label: "VR", Scheme: coherence.VR},
-		{Label: "ASR", Scheme: coherence.ASR, AutoASR: true},
-		{Label: "RT-1", Scheme: coherence.LocalityAware, RT: 1, K: 3, Cluster: 1},
-		{Label: "RT-3", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1},
-		{Label: "RT-8", Scheme: coherence.LocalityAware, RT: 8, K: 3, Cluster: 1},
+	var vs []Variant
+	for _, d := range coherence.Registered() {
+		for _, col := range d.Columns {
+			vs = append(vs, Variant{
+				Label:    col.Label,
+				Scheme:   d.Scheme,
+				RT:       col.RT,
+				K:        col.K,
+				Cluster:  col.Cluster,
+				ASRLevel: col.ASRLevel,
+				AutoASR:  col.AutoTune,
+			})
+		}
 	}
+	return vs
 }
 
 // ASRLevels are the five replication levels evaluated for ASR (§3.3).
@@ -181,14 +190,24 @@ func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
 	return best, nil
 }
 
-// applyVariant maps a variant onto the architectural configuration. Like
-// lard.buildConfig, it rejects a locality-aware variant without an explicit
-// threshold: silently simulating the config default under the variant's
-// label would mislabel every downstream table and store entry.
+// applyVariant maps a variant onto the architectural configuration, driven
+// by the variant scheme's registry descriptor. Like lard.buildConfig, it
+// rejects a threshold-gated variant without an explicit threshold: silently
+// simulating the config default under the variant's label would mislabel
+// every downstream table and store entry.
 func applyVariant(cfg *config.Config, v Variant) error {
-	if v.Scheme == coherence.LocalityAware {
+	d, ok := coherence.Describe(v.Scheme)
+	if !ok {
+		return fmt.Errorf("harness: variant %q: scheme %d is not registered", v.Label, uint8(v.Scheme))
+	}
+	if d.ThresholdRT {
 		if v.RT < 1 {
-			return fmt.Errorf("harness: variant %q: locality-aware scheme requires RT >= 1, got %d", v.Label, v.RT)
+			return fmt.Errorf("harness: variant %q: %s scheme requires RT >= 1, got %d", v.Label, d.Name, v.RT)
+		}
+		if v.RT > 255 {
+			// The reuse counters that must reach the threshold are 8 bits
+			// wide (§2.4.1); a larger threshold could never fire.
+			return fmt.Errorf("harness: variant %q: %s threshold %d exceeds the 8-bit reuse counters", v.Label, d.Name, v.RT)
 		}
 		cfg.RT = v.RT
 		switch {

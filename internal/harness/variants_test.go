@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"testing"
+
+	"lard/internal/coherence"
+)
+
+// TestStandardVariantsPinned pins the registry-derived figure columns to
+// the paper's seven, in figure order with their exact parameterization: a
+// scheme registration must never be able to silently reshuffle Figures 6-8.
+func TestStandardVariantsPinned(t *testing.T) {
+	want := []Variant{
+		{Label: "S-NUCA", Scheme: coherence.SNUCA},
+		{Label: "R-NUCA", Scheme: coherence.RNUCA},
+		{Label: "VR", Scheme: coherence.VR},
+		{Label: "ASR", Scheme: coherence.ASR, AutoASR: true},
+		{Label: "RT-1", Scheme: coherence.LocalityAware, RT: 1, K: 3, Cluster: 1},
+		{Label: "RT-3", Scheme: coherence.LocalityAware, RT: 3, K: 3, Cluster: 1},
+		{Label: "RT-8", Scheme: coherence.LocalityAware, RT: 8, K: 3, Cluster: 1},
+	}
+	got := StandardVariants()
+	if len(got) != len(want) {
+		t.Fatalf("StandardVariants has %d columns, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("column %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUnregisteredVariantRejected: a variant naming an unregistered scheme
+// errors instead of silently simulating S-NUCA-like behaviour.
+func TestUnregisteredVariantRejected(t *testing.T) {
+	base := Base{Cores: 16, OpsScale: 0.02}
+	_, err := Run(base, "DEDUP", Variant{Label: "nope", Scheme: coherence.Scheme(200)})
+	if err == nil {
+		t.Fatal("unregistered scheme variant must error")
+	}
+}

@@ -81,12 +81,10 @@ func (s Spec) Key() string {
 }
 
 // SchemeLabel renders the spec's scheme the way the paper's figures do
-// ("RT-3" for the locality-aware protocol, the scheme name otherwise).
+// ("RT-3" for the locality-aware protocol, the scheme name otherwise), as
+// declared by the scheme's registry descriptor.
 func (s Spec) SchemeLabel() string {
-	if s.Options.Scheme == coherence.LocalityAware {
-		return fmt.Sprintf("RT-%d", s.Config.RT)
-	}
-	return s.Options.Scheme.String()
+	return coherence.LabelFor(s.Options.Scheme, &s.Config)
 }
 
 // Stats counts store traffic. Computes is the number of times a compute

@@ -279,6 +279,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.campaigns[id]
 	if !ok {
 		c = newCampaign(id, members)
+		s.campaignsSeen++
 		s.campaigns[id] = c
 		s.campOrder = append(s.campOrder, c)
 		for len(s.campOrder) > maxCampaigns {

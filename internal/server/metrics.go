@@ -1,0 +1,106 @@
+// GET /metrics: the service's operational counters in the Prometheus text
+// exposition format (version 0.0.4), hand-rendered so the service stays
+// dependency-free. The families cover the run lifecycle (started, completed,
+// failed, cached), the job and campaign-member state gauges, the result
+// store's traffic counters, and the worker pool's depth — everything needed
+// to alert on a wedged pool, a cold store or a failing campaign.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// metricsSnapshot is the consistent counter snapshot rendered by /metrics.
+type metricsSnapshot struct {
+	runsStarted, runsCompleted, runsFailed, runsCached uint64
+	jobs                                               map[string]int
+	campaigns                                          int
+	campaignsSeen                                      uint64
+	members                                            map[string]int
+	queueLen, queueCap, workers                        int
+}
+
+// snapshotMetrics gathers every gauge and counter under one hold of the
+// server mutex so a scrape never mixes states from different instants. The
+// campaign-member states come from the job registry alone (no store I/O on
+// the scrape path): members evicted after completion report as pending
+// here, exactly as campaignViewLocked renders them.
+func (s *Server) snapshotMetrics() metricsSnapshot {
+	m := metricsSnapshot{
+		jobs:     map[string]int{StatusQueued: 0, StatusRunning: 0, StatusDone: 0, StatusFailed: 0},
+		members:  map[string]int{StatusPending: 0, StatusQueued: 0, StatusRunning: 0, StatusDone: 0, StatusFailed: 0},
+		queueCap: cap(s.queue),
+		workers:  s.workers,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.runsStarted, m.runsCompleted = s.runsStarted, s.runsCompleted
+	m.runsFailed, m.runsCached = s.runsFailed, s.runsCached
+	m.campaigns, m.campaignsSeen = len(s.campaigns), s.campaignsSeen
+	m.queueLen = len(s.queue)
+	for _, j := range s.jobs {
+		m.jobs[j.status]++
+	}
+	for _, c := range s.campaigns {
+		for _, mem := range c.members {
+			status := StatusPending
+			if j, ok := s.jobs[mem.key]; ok {
+				status = j.status
+			}
+			m.members[status]++
+		}
+	}
+	return m
+}
+
+// handleMetrics implements GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.snapshotMetrics()
+	st := s.store.Stats()
+
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	labeled := func(name, help, label string, vals map[string]int) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s{%s=%q} %d\n", name, label, k, vals[k])
+		}
+	}
+
+	counter("lard_runs_started_total", "Jobs a worker began simulating.", m.runsStarted)
+	counter("lard_runs_completed_total", "Worker simulations that finished successfully.", m.runsCompleted)
+	counter("lard_runs_failed_total", "Jobs that finished in failure (including shutdown drains).", m.runsFailed)
+	counter("lard_runs_cached_total", "Jobs answered from the result store without a worker.", m.runsCached)
+	labeled("lard_jobs", "Jobs in the registry by status.", "status", m.jobs)
+	counter("lard_campaigns_registered_total", "Campaigns registered (resubmissions attach, they do not count).", m.campaignsSeen)
+	gauge("lard_campaigns", "Campaigns currently in the registry.", m.campaigns)
+	labeled("lard_campaign_members", "Members of registered campaigns by job status (evicted-after-done members report pending).", "status", m.members)
+	gauge("lard_workers", "Simulation worker-pool size.", m.workers)
+	gauge("lard_queue_len", "Jobs waiting in the bounded queue.", m.queueLen)
+	gauge("lard_queue_cap", "Capacity of the bounded queue (full submissions shed with 429).", m.queueCap)
+	counter("lard_store_mem_hits_total", "Store lookups served from the in-memory layer.", st.MemHits)
+	counter("lard_store_disk_hits_total", "Store lookups served from the disk backend.", st.DiskHits)
+	counter("lard_store_misses_total", "Store lookups that found nothing and went on to compute.", st.Misses)
+	counter("lard_store_computes_total", "Compute callbacks executed (singleflight leaders).", st.Computes)
+	counter("lard_store_shared_total", "Callers that piggybacked on an in-flight computation.", st.Shared)
+	counter("lard_store_evictions_total", "Memory-layer entries dropped by the LRU bound.", st.Evictions)
+	counter("lard_store_corrupt_entries_total", "On-disk entries that failed to decode and were recomputed.", st.CorruptEntries)
+	gauge("lard_store_entries", "Entries in the store's in-memory layer.", s.store.Len())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}

@@ -16,8 +16,12 @@
 //	                               figure-style table
 //	GET  /v1/results               index of every stored run spec
 //	GET  /v1/benchmarks            list the benchmark names
+//	GET  /v1/schemes               registered replication policies with
+//	                               their tunables and figure columns
 //	GET  /healthz                  liveness probe
 //	GET  /stats                    store, queue and job counters
+//	GET  /metrics                  the same counters in the Prometheus
+//	                               text exposition format
 //
 // Jobs are content-addressed: a run's job id IS its canonical store key,
 // so resubmitting an identical request while it is queued or running
@@ -78,14 +82,14 @@ type RunRequest struct {
 }
 
 // validateScheme rejects decoded scheme shapes whose silent acceptance
-// would simulate something other than what the client asked for. It
-// duplicates the facade's own guards on purpose: the service must never
-// depend on a lower layer to catch a mislabeled run.
+// would simulate something other than what the client asked for: unknown
+// kinds and invalid policy parameters (an RT run without a threshold, an
+// ASR run at an unlabeled probability). The check is the registry's own
+// (lard.ValidateScheme), so a scheme registered in the facade is accepted
+// here with no server edit — and one rejected there can never slip in
+// through the service.
 func validateScheme(s lard.Scheme) error {
-	if s.Kind == "RT" && s.RT < 1 {
-		return fmt.Errorf("scheme %q requires rt >= 1, got %d", s.Kind, s.RT)
-	}
-	return nil
+	return lard.ValidateScheme(s)
 }
 
 // JobView is the wire representation of a job.
@@ -134,6 +138,13 @@ type Server struct {
 	campaigns map[string]*campaign
 	campOrder []*campaign // registration order, for eviction
 	closing   bool
+
+	// Monotonic service counters, guarded by mu (see GET /metrics).
+	runsStarted   uint64 // jobs a worker began simulating
+	runsCompleted uint64 // worker simulations that finished successfully
+	runsFailed    uint64 // jobs that finished in failure (incl. shutdown)
+	runsCached    uint64 // jobs materialized from the store without a worker
+	campaignsSeen uint64 // campaign registrations (not resubmission attaches)
 }
 
 // New builds a Server from cfg.
@@ -175,8 +186,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/table", s.handleCampaignTable)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
@@ -244,6 +257,7 @@ func (s *Server) worker() {
 			}
 			s.mu.Lock()
 			j.status = StatusRunning
+			s.runsStarted++
 			s.mu.Unlock()
 			res, cached, err := s.run(s.store, j.req.Benchmark, j.req.Scheme, j.req.Options)
 			s.finish(j, res, cached, err)
@@ -257,8 +271,10 @@ func (s *Server) finish(j *job, res *lard.Result, cached bool, err error) {
 	defer s.mu.Unlock()
 	if err != nil {
 		j.status, j.err = StatusFailed, err.Error()
+		s.runsFailed++
 	} else {
 		j.status, j.cached, j.result = StatusDone, cached, res
+		s.runsCompleted++
 	}
 	s.completedLocked(j)
 }
@@ -375,6 +391,7 @@ func (s *Server) ensureJob(key string, req RunRequest) (view JobView, shed bool,
 	j := &job{id: key, req: req, status: StatusQueued}
 	if hit {
 		j.status, j.cached, j.result = StatusDone, true, res
+		s.runsCached++
 		s.jobs[key] = j
 		s.completedLocked(j)
 		return viewOf(j), false, nil
@@ -456,6 +473,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 // handleBenchmarks implements GET /v1/benchmarks.
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": lard.Benchmarks()})
+}
+
+// handleSchemes implements GET /v1/schemes: the registered replication
+// policies with their tunables, figure columns and a ready-to-submit
+// example each, straight from the scheme registry — a scheme registered in
+// the facade is discoverable here with no server edit.
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	schemes := lard.RegisteredSchemes()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(schemes), "schemes": schemes})
 }
 
 // handleHealth implements GET /healthz.

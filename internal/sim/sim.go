@@ -8,7 +8,6 @@ package sim
 
 import (
 	"container/heap"
-	"strconv"
 
 	"lard/internal/coherence"
 	"lard/internal/config"
@@ -213,10 +212,8 @@ func releaseBarrier(h *eventHeap, atBarrier []bool, arriveAt []mem.Cycles, break
 }
 
 // schemeLabel renders the run's scheme the way the figures label it
-// (RT-<threshold> for the locality-aware protocol).
+// (RT-<threshold> for the locality-aware protocol), as declared by the
+// scheme's registry descriptor.
 func schemeLabel(cfg *config.Config, opt Options) string {
-	if opt.Scheme == coherence.LocalityAware {
-		return "RT-" + strconv.Itoa(cfg.RT)
-	}
-	return opt.Scheme.String()
+	return coherence.LabelFor(opt.Scheme, cfg)
 }

@@ -21,7 +21,6 @@ package lard
 import (
 	"fmt"
 
-	"lard/internal/coherence"
 	"lard/internal/config"
 	"lard/internal/energy"
 	"lard/internal/mem"
@@ -34,7 +33,9 @@ import (
 // Scheme selects and parameterizes an LLC management scheme. The zero value
 // is not valid; use one of the constructors.
 type Scheme struct {
-	// Kind is one of "S-NUCA", "R-NUCA", "VR", "ASR", "RT".
+	// Kind selects a registered scheme by its wire name: the five paper
+	// schemes "S-NUCA", "R-NUCA", "VR", "ASR", "RT", plus any additional
+	// registration (see SchemeKinds and GET /v1/schemes).
 	Kind string `json:"kind"`
 	// RT is the replication threshold of the locality-aware protocol.
 	RT int `json:"rt,omitempty"`
@@ -76,10 +77,15 @@ func LocalityAware(rt int) Scheme {
 	return Scheme{Kind: "RT", RT: rt, ClassifierK: 3, ClusterSize: 1}
 }
 
-// Label renders the scheme the way the paper's figures do.
+// Label renders the scheme the way the paper's figures do, as declared by
+// its registration ("RT-3" for the locality-aware protocol); unregistered
+// kinds fall back to the kind string.
 func (s Scheme) Label() string {
-	if s.Kind == "RT" {
-		return fmt.Sprintf("RT-%d", s.RT)
+	schemeMu.RLock()
+	def, ok := schemeDefs[s.Kind]
+	schemeMu.RUnlock()
+	if ok && def.label != nil {
+		return def.label(s)
 	}
 	return s.Kind
 }
@@ -211,43 +217,33 @@ func RunWithStore(st *resultstore.Store, benchmark string, s Scheme, o Options) 
 }
 
 // buildConfig translates the public Scheme/Options into the internal
-// configuration, validating the combination.
+// configuration through the scheme registry (see schemes.go): the kind
+// resolves to its registered definition, which validates and applies the
+// parameters its policy consumes. The scheme-independent knobs (replacement
+// policy, ablation switches) apply uniformly afterwards.
 func buildConfig(s Scheme, o Options) (*config.Config, sim.Options, error) {
+	def, err := defFor(s.Kind)
+	if err != nil {
+		return nil, sim.Options{}, err
+	}
+	if def.validate != nil {
+		if err := def.validate(s); err != nil {
+			return nil, sim.Options{}, err
+		}
+	}
 	cfg, err := config.ForCores(o.Cores)
 	if err != nil {
 		return nil, sim.Options{}, err
 	}
 	opt := sim.Options{
+		Scheme:          def.engine,
 		Seed:            o.Seed,
 		OpsScale:        o.OpsScale,
 		CheckInvariants: o.CheckInvariants,
 		TrackRuns:       o.TrackRuns,
 	}
-	switch s.Kind {
-	case "S-NUCA":
-		opt.Scheme = coherence.SNUCA
-	case "R-NUCA":
-		opt.Scheme = coherence.RNUCA
-	case "VR":
-		opt.Scheme = coherence.VR
-	case "ASR":
-		opt.Scheme = coherence.ASR
-		opt.ASRLevel = s.ASRLevel
-	case "RT":
-		// An unset threshold must not silently fall back to the config
-		// default while Label() reports "RT-0" — that mislabels every
-		// downstream table and store entry.
-		if s.RT < 1 {
-			return nil, sim.Options{}, fmt.Errorf("lard: RT scheme requires a replication threshold >= 1, got %d (did you mean LocalityAware(3)?)", s.RT)
-		}
-		opt.Scheme = coherence.LocalityAware
-		cfg.RT = s.RT
-		cfg.ClassifierK = s.ClassifierK
-		if s.ClusterSize > 0 {
-			cfg.ClusterSize = s.ClusterSize
-		}
-	default:
-		return nil, sim.Options{}, fmt.Errorf("lard: unknown scheme kind %q", s.Kind)
+	if def.apply != nil {
+		def.apply(s, cfg, &opt)
 	}
 	if s.PlainLRU {
 		cfg.Replacement = config.PlainLRU

@@ -1,0 +1,42 @@
+package lard
+
+import (
+	"fmt"
+
+	"lard/internal/coherence"
+	"lard/internal/config"
+	"lard/internal/sim"
+)
+
+// ExpectedHitCount returns the expected-hit-count replication scheme with
+// threshold rt: a line replicates in every remote reader's local slice once
+// its home has serviced rt reads since the last write. The engine-side
+// policy lives in internal/coherence/policy_ehc.go; this file is its wire
+// registration — together they are the complete footprint of the scheme.
+func ExpectedHitCount(rt int) Scheme { return Scheme{Kind: "EHC", RT: rt} }
+
+func init() {
+	registerScheme("EHC", schemeDef{
+		engine: coherence.ExpectedHitCount,
+		label:  func(s Scheme) string { return fmt.Sprintf("EHC-%d", s.RT) },
+		params: []SchemeParam{
+			{Name: "rt", Doc: "hit-count threshold, 1..255: home reads since the last write before a line replicates"},
+		},
+		example: ExpectedHitCount(3),
+		validate: func(s Scheme) error {
+			if s.RT < 1 {
+				return fmt.Errorf("lard: EHC scheme requires a hit-count threshold >= 1, got %d (did you mean ExpectedHitCount(3)?)", s.RT)
+			}
+			if s.RT > maxThreshold {
+				// The home-read counter is 8 bits; a larger threshold could
+				// never fire and the run would silently be S-NUCA under an
+				// EHC-N label.
+				return fmt.Errorf("lard: EHC scheme threshold rt must be <= %d (8-bit hit counter), got %d", maxThreshold, s.RT)
+			}
+			return nil
+		},
+		apply: func(s Scheme, cfg *config.Config, _ *sim.Options) {
+			cfg.RT = s.RT
+		},
+	})
+}
