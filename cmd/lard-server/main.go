@@ -5,12 +5,30 @@
 // Usage:
 //
 //	lard-server [-addr :8347] [-store DIR] [-workers N] [-queue N]
-//	            [-max-entries N]
+//	            [-max-entries N] [-shards N] [-peer URL]
+//	            [-replicate-threshold N] [-replica-capacity N]
 //
 // An empty -store selects a memory-only store (results do not survive a
 // restart). -max-entries bounds the store's in-memory layer with LRU
-// eviction (0 = unbounded); with a disk-backed store, evicted results stay
-// servable from disk. See internal/server for the endpoint reference.
+// eviction (0 = unbounded); with a persistent backend, evicted results
+// stay servable from it.
+//
+// Storage topology:
+//
+//	-shards N  splits the store directory into N consistent-hashed disk
+//	           shards (DIR/shard-00 …), spreading entries across
+//	           directories or mounts. Routing is stable, so restarting
+//	           with the same N finds every entry again.
+//	-peer URL  names another lard-server as the authoritative owner of
+//	           the result space: misses fetch from the peer's
+//	           /v1/results endpoints, fresh results write through to it,
+//	           and entries whose reuse crosses -replicate-threshold are
+//	           promoted into this node's own backend (bounded by
+//	           -replica-capacity) — the paper's locality-aware
+//	           replication, applied to the serving tier. Peering must be
+//	           acyclic (hub-and-spoke).
+//
+// See internal/server for the endpoint reference.
 package main
 
 import (
@@ -34,11 +52,37 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 64, "pending-job queue depth (full queue answers 429)")
 		maxEntries = flag.Int("max-entries", 0, "in-memory result bound, LRU-evicted beyond it (0 = unbounded)")
+		shards     = flag.Int("shards", 1, "consistent-hashed disk shards under the store directory")
+		peer       = flag.String("peer", "", "peer lard-server URL owning the result space (enables locality-aware replication)")
+		replThresh = flag.Int("replicate-threshold", 2, "reuse count that earns a peer-owned entry a local replica")
+		replCap    = flag.Int("replica-capacity", 4096, "local replica bound, LRU-demoted beyond it (0 = unbounded)")
 	)
 	flag.Parse()
 
-	st, err := resultstore.NewWithLimit(*storeDir, *maxEntries)
+	// Silent misconfiguration guard (the PR-2 discipline): a flag that
+	// would be ignored is an error, not a shrug — an operator who asked
+	// for 4 shards must not end up with an unsharded memory-only store.
+	if *storeDir == "" && *shards > 1 {
+		fatal(fmt.Errorf("-shards requires -store (an empty store directory has nothing to shard)"))
+	}
+	if *peer == "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["replicate-threshold"] || set["replica-capacity"] {
+			fatal(fmt.Errorf("-replicate-threshold and -replica-capacity require -peer (there is no owner to replicate from)"))
+		}
+	}
+
+	st, err := resultstore.Open(resultstore.BackendConfig{
+		Dir:                *storeDir,
+		Shards:             *shards,
+		Peer:               *peer,
+		ReplicateThreshold: *replThresh,
+		ReplicaCapacity:    *replCap,
+		MaxEntries:         *maxEntries,
+	})
 	fatal(err)
+	defer st.Close()
 	svc, err := server.New(server.Config{Store: st, Workers: *workers, QueueDepth: *queue})
 	fatal(err)
 	svc.Start()
@@ -53,7 +97,14 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "lard-server: listening on %s (store %q)\n", *addr, *storeDir)
+	topology := "flat"
+	if *shards > 1 {
+		topology = fmt.Sprintf("%d shards", *shards)
+	}
+	if *peer != "" {
+		topology += fmt.Sprintf(", replicating from peer %s (threshold %d)", *peer, *replThresh)
+	}
+	fmt.Fprintf(os.Stderr, "lard-server: listening on %s (store %q, %s)\n", *addr, *storeDir, topology)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,241 @@
+// Command lard-trend diffs the benchmark artifacts CI uploads per commit
+// (BENCH_<sha>.json, the `go test -json -bench` event stream) and fails
+// when performance regresses beyond a tolerance — the trend guard the
+// ROADMAP asked for over the bench job's run history.
+//
+// Usage:
+//
+//	lard-trend [-tolerance 10] OLD.json NEW.json
+//	lard-trend [-tolerance 10] DIR
+//
+// With two file arguments the first is the baseline. With a directory,
+// the two most recently modified BENCH_*.json files are compared (older =
+// baseline). Plain `go test -bench` text output is accepted too: any line
+// that is not a test2json event is scanned directly.
+//
+// Output is one row per benchmark with the ns/op delta. The exit status
+// is 1 when any benchmark slowed down by more than -tolerance percent,
+// so the tool drops straight into CI:
+//
+//	go run ./cmd/lard-trend -tolerance 15 BENCH_old.json BENCH_new.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches a Go benchmark result line: name, iterations, ns/op.
+// The -N GOMAXPROCS suffix is captured separately and stripped, so runs
+// from machines with different core counts still line up.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+)?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:[eE][+-]?[0-9]+)?) ns/op`)
+
+// event is the subset of a test2json record the parser needs.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// procsSuffix is the trailing -GOMAXPROCS a benchmark name carries.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// timingLine matches the timing half of a benchmark result when test2json
+// has split the name into the event's Test field: iterations, then ns/op.
+var timingLine = regexp.MustCompile(`^\d+\s+([0-9.]+(?:[eE][+-]?[0-9]+)?) ns/op`)
+
+// parseBench extracts {benchmark name -> ns/op} from r, which may be a
+// `go test -json` event stream, plain `go test -bench` text, or a mix.
+// test2json splits a result across events — the name rides in the Test
+// field while the Output holds only "  50\t 15236 ns/op" — so both the
+// combined plain-text shape and the split JSON shape are recognized. The
+// last value wins when a name repeats (e.g. -count > 1).
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	record := func(name, ns string) {
+		v, err := strconv.ParseFloat(ns, 64)
+		if err != nil {
+			return
+		}
+		out[procsSuffix.ReplaceAllString(name, "")] = v
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		test := ""
+		if strings.HasPrefix(line, "{") {
+			var e event
+			if err := json.Unmarshal([]byte(line), &e); err == nil {
+				if e.Action != "output" {
+					continue
+				}
+				line, test = strings.TrimSuffix(e.Output, "\n"), e.Test
+			}
+		}
+		line = strings.TrimSpace(line)
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			record(m[1], m[2])
+		} else if test != "" && strings.HasPrefix(test, "Benchmark") {
+			if m := timingLine.FindStringSubmatch(line); m != nil {
+				record(test, m[1])
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchFile parses one artifact.
+func parseBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// delta is one benchmark's old/new comparison.
+type delta struct {
+	name     string
+	old, new float64
+	pct      float64 // (new-old)/old * 100; >0 = slower
+}
+
+// diff joins two parses. Benchmarks present on only one side are returned
+// separately — new benchmarks are not regressions, vanished ones are worth
+// a warning but not a failure.
+func diff(old, new map[string]float64) (both []delta, added, removed []string) {
+	for name, nv := range new {
+		ov, ok := old[name]
+		if !ok {
+			added = append(added, name)
+			continue
+		}
+		d := delta{name: name, old: ov, new: nv}
+		if ov > 0 {
+			d.pct = (nv - ov) / ov * 100
+		}
+		both = append(both, d)
+	}
+	for name := range old {
+		if _, ok := new[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Slice(both, func(i, j int) bool { return both[i].pct > both[j].pct })
+	sort.Strings(added)
+	sort.Strings(removed)
+	return both, added, removed
+}
+
+// latestTwo returns the two most recently modified BENCH_*.json files in
+// dir: (baseline, candidate).
+func latestTwo(dir string) (string, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(matches) < 2 {
+		return "", "", fmt.Errorf("%s holds %d BENCH_*.json artifacts, need at least 2", dir, len(matches))
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		fi, erri := os.Stat(matches[i])
+		fj, errj := os.Stat(matches[j])
+		if erri != nil || errj != nil {
+			return matches[i] < matches[j]
+		}
+		return fi.ModTime().Before(fj.ModTime())
+	})
+	return matches[len(matches)-2], matches[len(matches)-1], nil
+}
+
+// run is main minus os.Exit, for tests: it renders the comparison to w
+// and reports whether any regression exceeded tolerancePct.
+func run(w io.Writer, oldPath, newPath string, tolerancePct float64) (regressed bool, err error) {
+	oldBench, err := parseBenchFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newBench, err := parseBenchFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	if len(oldBench) == 0 {
+		return false, fmt.Errorf("%s contains no benchmark results", oldPath)
+	}
+	if len(newBench) == 0 {
+		return false, fmt.Errorf("%s contains no benchmark results", newPath)
+	}
+
+	both, added, removed := diff(oldBench, newBench)
+	fmt.Fprintf(w, "baseline  %s\ncandidate %s\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range both {
+		flag := ""
+		if d.pct > tolerancePct {
+			flag = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n", d.name, d.old, d.new, d.pct, flag)
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", name, "-", newBench[name], "new")
+	}
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-44s %14.0f %14s %9s\n", name, oldBench[name], "-", "gone")
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nFAIL: at least one benchmark slowed by more than %.1f%%\n", tolerancePct)
+	}
+	return regressed, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 10, "max allowed slowdown in percent before exiting nonzero")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 1:
+		info, err := os.Stat(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if !info.IsDir() {
+			fatal(fmt.Errorf("single argument must be a directory of BENCH_*.json artifacts"))
+		}
+		oldPath, newPath, err = latestTwo(flag.Arg(0))
+		fatal(err)
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fatal(fmt.Errorf("usage: lard-trend [-tolerance PCT] OLD.json NEW.json | DIR"))
+	}
+
+	regressed, err := run(os.Stdout, oldPath, newPath, *tolerance)
+	fatal(err)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lard-trend:", err)
+		os.Exit(1)
+	}
+}

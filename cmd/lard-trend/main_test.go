@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// jsonArtifact renders benchmark results the way `go test -json -bench`
+// does: output events interleaved with noise.
+func jsonArtifact(lines ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"lard"}` + "\n")
+	for _, l := range lines {
+		b.WriteString(`{"Action":"output","Package":"lard","Output":"` + l + `\n"}` + "\n")
+	}
+	b.WriteString(`{"Action":"pass","Package":"lard"}` + "\n")
+	return b.String()
+}
+
+func TestParseBench(t *testing.T) {
+	art := jsonArtifact(
+		"goos: linux",
+		"BenchmarkShardedGet",
+		"BenchmarkShardedGet-8   \\t    1000\\t      1250 ns/op\\t 655.46 MB/s",
+		"BenchmarkReplicaPromotion-8 \\t 2000\\t 750.5 ns/op",
+		"BenchmarkRunMatrix/BARNES-8 \\t 1\\t 4.5e+06 ns/op",
+		"PASS",
+	)
+	got, err := parseBench(strings.NewReader(art))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkShardedGet":       1250,
+		"BenchmarkReplicaPromotion": 750.5,
+		"BenchmarkRunMatrix/BARNES": 4.5e6,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+
+	// Plain text (non-JSON) artifacts parse too.
+	plain := "BenchmarkShardedGet-16    500    2000 ns/op\n"
+	got, err = parseBench(strings.NewReader(plain))
+	if err != nil || got["BenchmarkShardedGet"] != 2000 {
+		t.Fatalf("plain parse = %v (%v)", got, err)
+	}
+
+	// The real test2json shape splits the name into the Test field and
+	// leaves only "  N\t ns/op" in the Output.
+	split := strings.Join([]string{
+		`{"Action":"output","Test":"BenchmarkShardedGet","Output":"=== RUN   BenchmarkShardedGet\n"}`,
+		`{"Action":"output","Test":"BenchmarkShardedGet","Output":"BenchmarkShardedGet \t"}`,
+		`{"Action":"output","Test":"BenchmarkShardedGet","Output":"      50\t     15236 ns/op\t 537.68 MB/s\n"}`,
+		`{"Action":"output","Output":"PASS\n"}`,
+	}, "\n")
+	got, err = parseBench(strings.NewReader(split))
+	if err != nil || got["BenchmarkShardedGet"] != 15236 {
+		t.Fatalf("split-event parse = %v (%v)", got, err)
+	}
+}
+
+// write writes an artifact file with a controlled mtime ordering.
+func write(t *testing.T, dir, name, content string, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mt := time.Now().Add(-age)
+	if err := os.Chtimes(path, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "BENCH_aaa.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1000 ns/op",
+		"BenchmarkReplicaPromotion-8 \\t 1000 \\t 500 ns/op",
+	), 2*time.Hour)
+	newP := write(t, dir, "BENCH_bbb.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1300 ns/op", // +30%
+		"BenchmarkReplicaPromotion-8 \\t 1000 \\t 490 ns/op",
+		"BenchmarkBrandNew-8 \\t 1000 \\t 1 ns/op",
+	), time.Hour)
+
+	var out strings.Builder
+	regressed, err := run(&out, oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("a +30%% slowdown must regress at tolerance 10%%:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output must flag the regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("output must mention the new benchmark:\n%s", out.String())
+	}
+
+	// The same pair passes at a generous tolerance.
+	out.Reset()
+	regressed, err = run(&out, oldP, newP, 50)
+	if err != nil || regressed {
+		t.Fatalf("tolerance 50%% must pass (%v):\n%s", err, out.String())
+	}
+
+	// Directory mode picks the two newest artifacts in mtime order.
+	o, n, err := latestTwo(dir)
+	if err != nil || o != oldP || n != newP {
+		t.Fatalf("latestTwo = %s, %s (%v)", o, n, err)
+	}
+	// A third, newer artifact shifts the window.
+	third := write(t, dir, "BENCH_ccc.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1100 ns/op",
+	), 0)
+	o, n, err = latestTwo(dir)
+	if err != nil || o != newP || n != third {
+		t.Fatalf("latestTwo after third = %s, %s (%v)", o, n, err)
+	}
+
+	// Artifacts without benchmarks are an error, not a silent pass.
+	empty := write(t, dir, "BENCH_empty.json", jsonArtifact("PASS"), 0)
+	if _, err := run(&out, empty, newP, 10); err == nil {
+		t.Fatal("empty baseline must error")
+	}
+}

@@ -37,6 +37,32 @@ type Base struct {
 	Store *resultstore.Store
 }
 
+// StoreSummary renders the campaign's cache effectiveness after a run —
+// simulations actually executed versus results served from memory, the
+// persistent backend, or shared in-flight computations — plus, when the
+// store is backed by a locality-aware replicated tier, the replication
+// ledger (replica hits versus owner fetches). It returns "" without a
+// store.
+func (b Base) StoreSummary() string {
+	if b.Store == nil {
+		return ""
+	}
+	st := b.Store.Stats()
+	s := fmt.Sprintf("store: %d simulated, %d from memory, %d from backend, %d shared in flight",
+		st.Computes, st.MemHits, st.DiskHits, st.Shared)
+	if bs, ok := b.Store.BackendStats(); ok {
+		if bs.Entries >= 0 {
+			s += fmt.Sprintf("; %s backend: %d entries", bs.Kind, bs.Entries)
+		}
+		if bs.Replication != nil {
+			r := bs.Replication
+			s += fmt.Sprintf("; replication: %d replica hits, %d owner fetches, %d promotions",
+				r.ReplicaHits, r.OwnerFetches, r.Promotions)
+		}
+	}
+	return s
+}
+
 // simulate runs one fully-configured simulation, through the result store
 // when the campaign has one.
 func (b Base) simulate(cfg *config.Config, prof trace.Profile, opt sim.Options) (*sim.Result, error) {

@@ -9,15 +9,21 @@
 //
 // The store layers three mechanisms:
 //
-//   - an in-memory map for results seen this process, optionally bounded by
-//     an LRU entry limit so long-lived servers don't grow without bound,
-//   - an optional on-disk JSON backend (one file per key under a store
-//     directory) that persists results across processes, and
+//   - an in-memory map of decoded results seen this process, optionally
+//     bounded by an LRU entry limit so long-lived servers don't grow
+//     without bound,
+//   - an optional persistent backend (internal/store) holding the encoded
+//     entries: a single disk directory, a sharded composite across many
+//     directories, a remote peer server, or a locality-aware replicated
+//     stack over any of those (see Open), and
 //   - singleflight deduplication: concurrent GetOrCompute calls for the
 //     same key share one computation instead of racing to duplicate it.
 //
 // Callers receive private clones, so mutating a returned Result (for
-// example relabeling its Scheme) never corrupts the cache.
+// example relabeling its Scheme) never corrupts the cache. The encoded
+// entry format and every content address are byte-identical to the
+// original single-directory store, so existing store directories keep
+// resolving unchanged.
 package resultstore
 
 import (
@@ -25,17 +31,16 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 
 	"lard/internal/coherence"
 	"lard/internal/config"
 	"lard/internal/sim"
+	"lard/internal/store"
 )
 
 // keyVersion is folded into every hash so that future changes to the Spec
@@ -91,7 +96,7 @@ func (s Spec) SchemeLabel() string {
 // callback actually ran — the store's cache-effectiveness ground truth.
 type Stats struct {
 	// MemHits and DiskHits count Get/GetOrCompute calls served from the
-	// in-memory map and the disk backend respectively.
+	// in-memory map and the persistent backend respectively.
 	MemHits  uint64 `json:"mem_hits"`
 	DiskHits uint64 `json:"disk_hits"`
 	// Misses counts GetOrCompute lookups that found nothing in either
@@ -104,15 +109,15 @@ type Stats struct {
 	// Shared counts GetOrCompute callers that piggybacked on another
 	// caller's in-flight computation instead of running their own.
 	Shared uint64 `json:"shared"`
-	// CorruptEntries counts on-disk entries that failed to decode and were
+	// CorruptEntries counts backend entries that failed to decode and were
 	// treated as misses (the next compute overwrites them).
 	CorruptEntries uint64 `json:"corrupt_entries"`
 	// Evictions counts memory-layer entries dropped by the LRU bound.
-	// Evicted results remain readable from the disk backend.
+	// Evicted results remain readable from the persistent backend.
 	Evictions uint64 `json:"evictions"`
 }
 
-// entry is the on-disk envelope: the spec is stored alongside the result so
+// entry is the encoded envelope: the spec is stored alongside the result so
 // a store directory is self-describing and auditable.
 type entry struct {
 	Key    string      `json:"key"`
@@ -131,7 +136,7 @@ type IndexEntry struct {
 	Seed      uint64  `json:"seed"`
 	OpsScale  float64 `json:"ops_scale"`
 	// InMemory reports whether the entry is resident in the memory layer
-	// (false = disk only, e.g. after an LRU eviction or a restart).
+	// (false = backend only, e.g. after an LRU eviction or a restart).
 	InMemory bool `json:"in_memory"`
 }
 
@@ -143,7 +148,7 @@ type call struct {
 }
 
 // memEntry is one memory-layer entry; the spec is kept alongside the result
-// so the index is self-describing without touching disk.
+// so the index is self-describing without touching the backend.
 type memEntry struct {
 	key  string
 	spec Spec
@@ -151,14 +156,21 @@ type memEntry struct {
 }
 
 // Store is a content-addressed result cache. The zero value is not usable;
-// call New. A Store is safe for concurrent use.
+// call New, NewWithLimit, NewWithBackend or Open. A Store is safe for
+// concurrent use.
 type Store struct {
-	dir string // "" = memory only
-	max int    // memory-layer LRU bound; 0 = unbounded
+	backend store.Backend // nil = memory only
+	dir     string        // display root ("" = memory only or custom backend)
+	max     int           // memory-layer LRU bound; 0 = unbounded
 
-	mu    sync.Mutex
-	mem   map[string]*list.Element // of *memEntry
-	lru   *list.List               // front = most recently used
+	mu  sync.Mutex
+	mem map[string]*list.Element // of *memEntry
+	lru *list.List               // front = most recently used
+	// specs caches spec metadata by key so the index never re-decodes a
+	// seen entry. Unbounded stores (max 0) keep every spec; bounded stores
+	// cap it at specsBound() so the -max-entries promise extends to
+	// metadata (beyond the cap the index falls back to decoding).
+	specs map[string]Spec
 	calls map[string]*call
 	stats Stats
 }
@@ -169,31 +181,151 @@ func New(dir string) (*Store, error) { return NewWithLimit(dir, 0) }
 
 // NewWithLimit opens a store whose memory layer holds at most maxEntries
 // results, evicting least-recently-used entries beyond that (0 = unbounded).
-// With a disk backend, evicted results stay readable from disk; memory-only
-// stores lose them outright, trading recomputation for bounded memory.
+// With a persistent backend, evicted results stay readable from it;
+// memory-only stores lose them outright, trading recomputation for bounded
+// memory.
 func NewWithLimit(dir string, maxEntries int) (*Store, error) {
+	var b store.Backend
+	if dir != "" {
+		d, err := store.NewDisk("disk", dir)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		b = d
+	}
+	st, err := NewWithBackend(b, maxEntries)
+	if err != nil {
+		return nil, err
+	}
+	st.dir = dir
+	return st, nil
+}
+
+// NewWithBackend opens a store over an arbitrary persistent backend — a
+// sharded composite, a remote peer, a replicated stack — with the given
+// memory-layer LRU bound (0 = unbounded). A nil backend selects a
+// memory-only store.
+func NewWithBackend(b store.Backend, maxEntries int) (*Store, error) {
 	if maxEntries < 0 {
 		return nil, fmt.Errorf("resultstore: negative entry limit %d", maxEntries)
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("resultstore: %w", err)
-		}
-	}
 	return &Store{
-		dir:   dir,
-		max:   maxEntries,
-		mem:   make(map[string]*list.Element),
-		lru:   list.New(),
-		calls: make(map[string]*call),
+		backend: b,
+		max:     maxEntries,
+		mem:     make(map[string]*list.Element),
+		lru:     list.New(),
+		specs:   make(map[string]Spec),
+		calls:   make(map[string]*call),
 	}, nil
 }
 
-// Dir returns the disk backend directory ("" for a memory-only store).
+// BackendConfig describes the standard backend stack of a serving node;
+// Open composes it. The zero value is a memory-only store.
+type BackendConfig struct {
+	// Dir is the root store directory ("" = no local disk).
+	Dir string
+	// Shards > 1 splits Dir into that many consistent-hashed disk shards
+	// (Dir/shard-00 …), so entries spread across directories — or mounts.
+	Shards int
+	// Peer is the base URL of another lard-server whose store becomes the
+	// authoritative owner backend; this node fetches from it and promotes
+	// hot entries into its own local backend (locality-aware replication).
+	Peer string
+	// ReplicateThreshold is the reuse count that earns a peer-owned entry
+	// a local replica (default 2; meaningful only with Peer).
+	ReplicateThreshold int
+	// ReplicaCapacity bounds the local replica set (0 = unbounded).
+	ReplicaCapacity int
+	// MaxEntries bounds the in-memory decoded layer (0 = unbounded).
+	MaxEntries int
+}
+
+// Open builds the backend stack cfg describes and opens a store over it:
+// plain disk, sharded disks, and/or a locality-aware replicated tier over
+// a peer server. Mixing sharded and unsharded stores over the same root
+// directory is not supported (they address different layouts).
+func Open(cfg BackendConfig) (*Store, error) {
+	var base store.Backend
+	switch {
+	case cfg.Dir == "":
+		// no local persistence
+	case cfg.Shards > 1:
+		children := make([]store.Backend, cfg.Shards)
+		for i := range children {
+			name := fmt.Sprintf("shard-%02d", i)
+			d, err := store.NewDisk(name, filepath.Join(cfg.Dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("resultstore: %w", err)
+			}
+			children[i] = d
+		}
+		s, err := store.NewSharded("sharded", children...)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		base = s
+	default:
+		d, err := store.NewDisk("disk", cfg.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		base = d
+	}
+
+	if cfg.Peer != "" {
+		owner, err := store.NewRemote("peer", cfg.Peer, nil)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		local := base
+		if local == nil {
+			local = store.NewMemory("replicas", cfg.ReplicaCapacity)
+		}
+		threshold := cfg.ReplicateThreshold
+		if threshold == 0 {
+			threshold = 2
+		}
+		r, err := store.NewReplicated("replicated", owner, local, threshold, cfg.ReplicaCapacity)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		base = r
+	}
+
+	st, err := NewWithBackend(base, cfg.MaxEntries)
+	if err != nil {
+		return nil, err
+	}
+	st.dir = cfg.Dir
+	return st, nil
+}
+
+// Dir returns the store's root directory ("" for a memory-only store or a
+// custom backend opened without one).
 func (s *Store) Dir() string { return s.dir }
 
 // MaxEntries returns the memory-layer LRU bound (0 = unbounded).
 func (s *Store) MaxEntries() int { return s.max }
+
+// Backend returns the persistent backend (nil for a memory-only store).
+func (s *Store) Backend() store.Backend { return s.backend }
+
+// BackendStats returns the persistent backend's counter tree, ok=false for
+// a memory-only store.
+func (s *Store) BackendStats() (store.Stats, bool) {
+	if s.backend == nil {
+		return store.Stats{}, false
+	}
+	return s.backend.Stats(), true
+}
+
+// Close releases the persistent backend's resources.
+func (s *Store) Close() error {
+	if s.backend == nil {
+		return nil
+	}
+	return s.backend.Close()
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
@@ -220,9 +352,36 @@ func (s *Store) memGetLocked(key string) (*memEntry, bool) {
 	return el.Value.(*memEntry), true
 }
 
-// memPutLocked inserts or refreshes a memory entry and enforces the LRU
-// bound. Callers hold s.mu.
+// specsBound returns the spec-index cap: 0 (unbounded) when the memory
+// layer is unbounded, else a generous multiple of the result bound — specs
+// are two orders of magnitude smaller than results, so the index stays
+// cheap without growing forever.
+func (s *Store) specsBound() int {
+	if s.max == 0 {
+		return 0
+	}
+	n := 16 * s.max
+	if n < 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// cacheSpecLocked records spec metadata for key, subject to the bound.
+// Callers hold s.mu.
+func (s *Store) cacheSpecLocked(key string, spec Spec) {
+	if b := s.specsBound(); b > 0 && len(s.specs) >= b {
+		if _, ok := s.specs[key]; !ok {
+			return
+		}
+	}
+	s.specs[key] = spec
+}
+
+// memPutLocked inserts or refreshes a memory entry, records the spec in
+// the metadata index, and enforces the LRU bound. Callers hold s.mu.
 func (s *Store) memPutLocked(key string, spec Spec, r *sim.Result) {
+	s.cacheSpecLocked(key, spec)
 	if el, ok := s.mem[key]; ok {
 		el.Value.(*memEntry).res = r
 		s.lru.MoveToFront(el)
@@ -237,27 +396,20 @@ func (s *Store) memPutLocked(key string, spec Spec, r *sim.Result) {
 	}
 }
 
-// path returns the entry file for key, sharded by the first hash byte so no
-// single directory grows unboundedly.
+// path returns the entry file for key when the backend can name one (a
+// disk backend, or the owning shard of a sharded one); "" otherwise.
 func (s *Store) path(key string) string {
-	return filepath.Join(s.dir, key[:2], key+".json")
+	if p, ok := s.backend.(interface{ Path(string) string }); ok {
+		return p.Path(key)
+	}
+	return ""
 }
 
-// validKey reports whether key is a well-formed content address (64 lowercase
-// hex digits). Lookups by raw key strings (GET /v1/runs/{id} fallbacks) pass
-// through here, so a malformed or path-traversing id can never touch disk.
-func validKey(key string) bool {
-	if len(key) != sha256.Size*2 {
-		return false
-	}
-	for i := 0; i < len(key); i++ {
-		c := key[i]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
-		}
-	}
-	return true
-}
+// validKey reports whether key is a well-formed content address (64
+// lowercase hex digits). Lookups by raw key strings (GET /v1/runs/{id}
+// fallbacks) pass through here, so a malformed or path-traversing id can
+// never touch a backend.
+func validKey(key string) bool { return store.ValidKey(key) }
 
 // Get returns the cached result for spec, or (nil, false) on a miss.
 func (s *Store) Get(spec Spec) (*sim.Result, bool, error) {
@@ -281,7 +433,7 @@ func (s *Store) GetByKey(key string) (*sim.Result, Spec, bool, error) {
 	}
 	s.mu.Unlock()
 
-	e, err := s.readDisk(key)
+	e, err := s.readBackend(key)
 	if err != nil {
 		return nil, Spec{}, false, err
 	}
@@ -302,14 +454,106 @@ func (s *Store) Put(spec Spec, r *sim.Result) error {
 	s.mu.Lock()
 	s.memPutLocked(key, spec, c)
 	s.mu.Unlock()
-	return s.writeDisk(key, spec, c)
+	return s.writeBackend(key, spec, c)
+}
+
+// GetRaw returns the canonical encoded entry for key, or ok=false when no
+// layer holds one. It validates what it serves — a corrupt backend entry
+// reads as a miss, never propagates to a peer — and is the server's
+// GET /v1/results/{key} path (what a Remote backend fetches).
+func (s *Store) GetRaw(key string) ([]byte, bool, error) {
+	if !validKey(key) {
+		return nil, false, nil
+	}
+	if s.backend != nil {
+		b, ok, err := s.backend.Get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if e := s.decodeEntry(key, b); e != nil {
+				s.mu.Lock()
+				s.stats.DiskHits++
+				s.mu.Unlock()
+				return b, true, nil
+			}
+			return nil, false, nil
+		}
+	}
+	// Memory-resident only (memory-only store, or a backend that lost the
+	// file): re-encode canonically — the encoding is deterministic, so the
+	// bytes match what the backend would have held.
+	s.mu.Lock()
+	e, ok := s.memGetLocked(key)
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.stats.MemHits++
+	env := entry{Key: key, Spec: e.spec, Result: e.res}
+	s.mu.Unlock()
+	b, err := encodeEntry(env)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// ErrInvalidEntry marks PutRaw rejections of the entry bytes themselves —
+// undecodable, mislabeled, or address-mismatched — as distinct from
+// storage faults, so callers (the server's PUT handler) can blame the
+// right party: 400 for a bad envelope, 500 for a failing backend.
+var ErrInvalidEntry = errors.New("invalid entry")
+
+// PutRaw stores an encoded entry under key, validating that the bytes
+// decode to a self-consistent envelope whose spec re-derives key — a peer
+// can never poison the store with a mislabeled result. The canonical
+// re-encoding is what persists, so one key always stores one byte string.
+// Validation failures wrap ErrInvalidEntry; other errors are storage
+// faults.
+func (s *Store) PutRaw(key string, b []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("resultstore: put: %w: malformed key %q", ErrInvalidEntry, key)
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return fmt.Errorf("resultstore: put %s: %w: %v", key, ErrInvalidEntry, err)
+	}
+	if e.Key != key || e.Result == nil {
+		return fmt.Errorf("resultstore: put %s: %w: envelope does not describe this key", key, ErrInvalidEntry)
+	}
+	if e.Spec.Key() != key {
+		return fmt.Errorf("resultstore: put %s: %w: spec re-derives a different address", key, ErrInvalidEntry)
+	}
+	s.mu.Lock()
+	s.memPutLocked(key, e.Spec, e.Result)
+	s.mu.Unlock()
+	return s.writeBackend(key, e.Spec, e.Result)
+}
+
+// Delete removes key from every layer.
+func (s *Store) Delete(key string) error {
+	if !validKey(key) {
+		return nil
+	}
+	s.mu.Lock()
+	if el, ok := s.mem[key]; ok {
+		s.lru.Remove(el)
+		delete(s.mem, key)
+	}
+	delete(s.specs, key)
+	s.mu.Unlock()
+	if s.backend == nil {
+		return nil
+	}
+	return s.backend.Delete(key)
 }
 
 // GetOrCompute returns the cached result for spec, computing and storing it
 // on a miss. Concurrent calls for the same key share one computation: the
 // first caller runs compute, the rest block until it finishes and receive
 // the same outcome. The returned bool reports whether the result was served
-// from cache (memory or disk) rather than computed by this call graph.
+// from cache (memory or backend) rather than computed by this call graph.
 func (s *Store) GetOrCompute(spec Spec, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
 	key := spec.Key()
 
@@ -345,9 +589,9 @@ func (s *Store) GetOrCompute(spec Spec, compute func() (*sim.Result, error)) (*s
 }
 
 // leader runs the miss path of GetOrCompute for the singleflight winner:
-// consult disk, else compute and persist.
+// consult the backend, else compute and persist.
 func (s *Store) leader(key string, spec Spec, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
-	e, err := s.readDisk(key)
+	e, err := s.readBackend(key)
 	if err != nil {
 		return nil, false, err
 	}
@@ -371,57 +615,90 @@ func (s *Store) leader(key string, spec Spec, compute func() (*sim.Result, error
 	s.mu.Lock()
 	s.memPutLocked(key, spec, c)
 	s.mu.Unlock()
-	if err := s.writeDisk(key, spec, c); err != nil {
+	if err := s.writeBackend(key, spec, c); err != nil {
 		return nil, false, err
 	}
 	return c, false, nil
 }
 
-// Index enumerates every stored run — memory-resident and disk-only alike —
-// sorted by key. It reads entry files to recover specs, so it is an audit
-// endpoint, not a hot path.
-func (s *Store) Index() ([]IndexEntry, error) {
-	seen := make(map[string]IndexEntry)
-	s.mu.Lock()
-	for el := s.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*memEntry)
-		seen[e.key] = indexEntryFor(e.key, e.spec, true)
-	}
-	s.mu.Unlock()
-
-	if s.dir != "" {
-		err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
-				return nil
-			}
-			key := strings.TrimSuffix(d.Name(), ".json")
-			if !validKey(key) {
-				return nil // temp files and stray content
-			}
-			if _, ok := seen[key]; ok {
-				return nil
-			}
-			e, err := s.readDisk(key)
-			if err != nil || e == nil {
-				return err // corrupt entries already counted by readDisk
-			}
-			seen[key] = indexEntryFor(key, e.Spec, false)
-			return nil
-		})
+// Keys returns every stored key — memory-resident and backend alike —
+// sorted. It never decodes entries.
+func (s *Store) Keys() ([]string, error) {
+	set := make(map[string]bool)
+	if s.backend != nil {
+		ks, err := s.backend.Index()
 		if err != nil {
 			return nil, fmt.Errorf("resultstore: index: %w", err)
 		}
+		for _, k := range ks {
+			set[k] = true
+		}
+	}
+	s.mu.Lock()
+	for k := range s.mem {
+		set[k] = true
+	}
+	s.mu.Unlock()
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Index enumerates every stored run, sorted by key. Spec metadata is
+// served from the in-memory index whenever the key has been seen this
+// process; only never-seen backend entries are read and decoded. Large
+// stores should page with IndexPage instead.
+func (s *Store) Index() ([]IndexEntry, error) {
+	out, _, err := s.IndexPage(0, 0)
+	return out, err
+}
+
+// IndexPage returns the [offset, offset+limit) window of the sorted index
+// plus the total key count (limit 0 = to the end). Decoding cost is
+// bounded by the window: a page over a million-entry store touches at most
+// `limit` entry files, and none whose spec is already known in memory.
+func (s *Store) IndexPage(offset, limit int) ([]IndexEntry, int, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return nil, 0, err
+	}
+	total := len(keys)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < total {
+		end = offset + limit
 	}
 
-	out := make([]IndexEntry, 0, len(seen))
-	for _, e := range seen {
-		out = append(out, e)
+	out := make([]IndexEntry, 0, end-offset)
+	for _, key := range keys[offset:end] {
+		s.mu.Lock()
+		_, inMem := s.mem[key]
+		spec, known := s.specs[key]
+		s.mu.Unlock()
+		if !known {
+			e, err := s.readBackendForIndex(key)
+			if err != nil {
+				return nil, 0, fmt.Errorf("resultstore: index: %w", err)
+			}
+			if e == nil {
+				continue // corrupt or concurrently deleted
+			}
+			spec = e.Spec
+			s.mu.Lock()
+			s.cacheSpecLocked(key, spec) // next index need not re-decode
+			s.mu.Unlock()
+		}
+		out = append(out, indexEntryFor(key, spec, inMem))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out, nil
+	return out, total, nil
 }
 
 // indexEntryFor summarizes a spec into an index row.
@@ -437,65 +714,83 @@ func indexEntryFor(key string, spec Spec, inMem bool) IndexEntry {
 	}
 }
 
-// readDisk loads the entry for key from the disk backend, returning nil on
-// a miss (or when the store is memory-only). An entry that fails to decode
-// is treated as a miss, not an error: the key stays computable and the next
-// write atomically replaces the damaged file. Real I/O failures still
-// surface as errors.
-func (s *Store) readDisk(key string) (*entry, error) {
-	if s.dir == "" {
-		return nil, nil
+// readBackendForIndex is readBackend for audit/index reads: when the
+// backend distinguishes them (the replicated tier's IndexGet reads the
+// owner without reuse bookkeeping), enumerating a store does not promote
+// cold keys or evict hot replicas.
+func (s *Store) readBackendForIndex(key string) (*entry, error) {
+	ig, ok := s.backend.(interface {
+		IndexGet(string) ([]byte, bool, error)
+	})
+	if !ok {
+		return s.readBackend(key)
 	}
-	b, err := os.ReadFile(s.path(key))
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
+	b, found, err := ig.IndexGet(key)
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: read %s: %w", key, err)
 	}
+	if !found {
+		return nil, nil
+	}
+	return s.decodeEntry(key, b), nil
+}
+
+// readBackend loads the entry for key from the persistent backend,
+// returning nil on a miss (or when the store is memory-only). An entry
+// that fails to decode is treated as a miss, not an error: the key stays
+// computable and the next write atomically replaces the damaged bytes.
+// Real I/O failures still surface as errors.
+func (s *Store) readBackend(key string) (*entry, error) {
+	if s.backend == nil {
+		return nil, nil
+	}
+	b, ok, err := s.backend.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: read %s: %w", key, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	return s.decodeEntry(key, b), nil
+}
+
+// decodeEntry decodes and validates an encoded envelope, counting (and
+// swallowing) corruption.
+func (s *Store) decodeEntry(key string, b []byte) *entry {
 	var e entry
 	if err := json.Unmarshal(b, &e); err != nil || e.Key != key || e.Result == nil {
 		s.mu.Lock()
 		s.stats.CorruptEntries++
 		s.mu.Unlock()
-		return nil, nil
-	}
-	return &e, nil
-}
-
-// writeDisk persists an entry atomically (temp file + rename) so concurrent
-// writers and crashed processes can never leave a torn entry behind. The
-// encoding is deterministic: Result holds only fixed-size arrays and
-// scalars, so the same key always produces byte-identical files.
-func (s *Store) writeDisk(key string, spec Spec, r *sim.Result) error {
-	if s.dir == "" {
 		return nil
 	}
-	b, err := json.MarshalIndent(entry{Key: key, Spec: spec, Result: r}, "", "  ")
+	return &e
+}
+
+// writeBackend persists an entry through the backend. The encoding is
+// deterministic: Result holds only fixed-size arrays and scalars, so the
+// same key always produces byte-identical stored entries.
+func (s *Store) writeBackend(key string, spec Spec, r *sim.Result) error {
+	if s.backend == nil {
+		return nil
+	}
+	b, err := encodeEntry(entry{Key: key, Spec: spec, Result: r})
 	if err != nil {
-		return fmt.Errorf("resultstore: encode %s: %w", key, err)
+		return err
 	}
-	b = append(b, '\n')
-	dir := filepath.Dir(s.path(key))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, "."+key+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	if err := s.backend.Put(key, b); err != nil {
 		return fmt.Errorf("resultstore: write %s: %w", key, err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: close %s: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: commit %s: %w", key, err)
-	}
 	return nil
+}
+
+// encodeEntry renders the canonical byte encoding of an envelope —
+// unchanged from the original on-disk format, so existing store
+// directories remain valid byte for byte.
+func encodeEntry(e entry) ([]byte, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: encode %s: %w", e.Key, err)
+	}
+	return append(b, '\n'), nil
 }

@@ -1,0 +1,363 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lard/internal/sim"
+	"lard/internal/store"
+)
+
+// newShardedStore opens a façade over n disk shards under dir, memory
+// layer bounded to maxEntries.
+func newShardedStore(t *testing.T, dir string, n, maxEntries int) (*Store, *store.Sharded) {
+	t.Helper()
+	children := make([]store.Backend, n)
+	for i := range children {
+		name := fmt.Sprintf("shard-%02d", i)
+		d, err := store.NewDisk(name, filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = d
+	}
+	sh, err := store.NewSharded("sharded", children...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewWithBackend(sh, maxEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, sh
+}
+
+// TestShardedRoundTrip: the façade over a sharded composite behaves
+// exactly like the single-directory store — same keys, same hits — while
+// entries spread across the shard directories.
+func TestShardedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, sh := newShardedStore(t, dir, 4, 0)
+	const n = 12
+	for seed := uint64(1); seed <= n; seed++ {
+		if err := st.Put(spec(seed), fakeResult(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh façade over the same shards serves every key from its owner
+	// shard, and the spec survives the trip.
+	st2, _ := newShardedStore(t, dir, 4, 0)
+	for seed := uint64(1); seed <= n; seed++ {
+		sp := spec(seed)
+		res, got, ok, err := st2.GetByKey(sp.Key())
+		if err != nil || !ok || uint64(res.CompletionTime) != seed {
+			t.Fatalf("seed %d: res=%+v ok=%v err=%v", seed, res, ok, err)
+		}
+		if got.Key() != sp.Key() {
+			t.Fatal("recovered spec must re-derive the same key")
+		}
+	}
+	stats := sh.Stats()
+	occupied := 0
+	for _, shard := range stats.Shards {
+		if shard.Entries > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("12 entries landed on %d of 4 shards: %+v", occupied, stats.Shards)
+	}
+	if stats.Entries != n {
+		t.Fatalf("total entries = %d, want %d", stats.Entries, n)
+	}
+}
+
+// TestCorruptEntryThroughSharded: a truncated entry file inside one shard
+// surfaces through the composite as a recoverable miss — counted, healed
+// by the next write — exactly as on the flat store.
+func TestCorruptEntryThroughSharded(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := newShardedStore(t, dir, 4, 0)
+	sp := spec(5)
+	if err := st.Put(sp, fakeResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(sp.Key())
+	if path == "" {
+		t.Fatal("sharded backend must name the owning shard's entry path")
+	}
+	// Truncate mid-file: a torn write no atomic rename could produce.
+	if err := os.WriteFile(path, []byte(`{"key": "tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _ := newShardedStore(t, dir, 4, 0)
+	if _, ok, err := st2.Get(sp); err != nil || ok {
+		t.Fatalf("corrupt sharded entry must read as a miss, got ok=%v err=%v", ok, err)
+	}
+	res, cached, err := st2.GetOrCompute(sp, func() (*sim.Result, error) { return fakeResult(2), nil })
+	if err != nil || cached || res.CompletionTime != 2 {
+		t.Fatalf("recompute over corrupt entry: cached=%v err=%v res=%+v", cached, err, res)
+	}
+	if s := st2.Stats(); s.CorruptEntries == 0 {
+		t.Fatalf("corruption must be counted, stats %+v", s)
+	}
+	// The overwrite healed the entry for future stores.
+	st3, _ := newShardedStore(t, dir, 4, 0)
+	healed, ok, err := st3.Get(sp)
+	if err != nil || !ok || healed.CompletionTime != 2 {
+		t.Fatalf("healed entry: ok=%v err=%v res=%+v", ok, err, healed)
+	}
+}
+
+// TestConcurrentGetOrComputeWithEviction races GetOrCompute against the
+// memory layer's LRU eviction: a tiny bound over a sharded backend forces
+// constant evict/reload churn while many goroutines demand overlapping
+// keys. Run under -race in CI; correctness here means every caller gets
+// the right result and the compute count stays at one per key.
+func TestConcurrentGetOrComputeWithEviction(t *testing.T) {
+	st, _ := newShardedStore(t, t.TempDir(), 4, 1) // memory layer holds ONE entry
+	const (
+		keys    = 6
+		workers = 8
+		rounds  = 40
+	)
+	var computes [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				seed := uint64((w+i)%keys + 1)
+				res, _, err := st.GetOrCompute(spec(seed), func() (*sim.Result, error) {
+					computes[seed-1].Add(1)
+					return fakeResult(seed), nil
+				})
+				if err != nil {
+					t.Errorf("GetOrCompute seed %d: %v", seed, err)
+					return
+				}
+				if uint64(res.CompletionTime) != seed {
+					t.Errorf("seed %d served %d — cross-key corruption", seed, res.CompletionTime)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range computes {
+		if c := computes[i].Load(); c != 1 {
+			t.Errorf("key %d computed %d times, want 1 (backend persists across evictions)", i+1, c)
+		}
+	}
+	if st.Len() > 1 {
+		t.Fatalf("memory layer holds %d entries, bound is 1", st.Len())
+	}
+}
+
+// TestIndexPage covers the paged index: stable windows, total counts, and
+// spec metadata served from memory without re-decoding resident entries.
+func TestIndexPage(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := newShardedStore(t, dir, 4, 0)
+	const n = 9
+	for seed := uint64(1); seed <= n; seed++ {
+		st.Put(spec(seed), fakeResult(seed))
+	}
+
+	full, total, err := st.IndexPage(0, 0)
+	if err != nil || total != n || len(full) != n {
+		t.Fatalf("full page: %d/%d (%v)", len(full), total, err)
+	}
+	var paged []IndexEntry
+	for off := 0; off < total; off += 4 {
+		page, tot, err := st.IndexPage(off, 4)
+		if err != nil || tot != n {
+			t.Fatalf("page %d: %v (total %d)", off, err, tot)
+		}
+		if len(page) > 4 {
+			t.Fatalf("page %d has %d rows, limit 4", off, len(page))
+		}
+		paged = append(paged, page...)
+	}
+	if len(paged) != n {
+		t.Fatalf("pages sum to %d rows, want %d", len(paged), n)
+	}
+	for i := range full {
+		if paged[i] != full[i] {
+			t.Fatalf("row %d differs between paged and full index", i)
+		}
+	}
+	// Out-of-range offsets answer empty, not error.
+	if page, tot, err := st.IndexPage(n+10, 4); err != nil || tot != n || len(page) != 0 {
+		t.Fatalf("past-the-end page = %d rows, %d, %v", len(page), tot, err)
+	}
+
+	// A fresh store decodes a page once, then serves the specs from the
+	// metadata index: the second identical page triggers no backend reads.
+	st2, sh2 := newShardedStore(t, dir, 4, 0)
+	if _, _, err := st2.IndexPage(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	gets := sh2.Stats().Gets
+	if _, _, err := st2.IndexPage(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if after := sh2.Stats().Gets; after != gets {
+		t.Fatalf("repeated index page re-read the backend (%d -> %d gets)", gets, after)
+	}
+}
+
+// TestIndexDoesNotPromote: a replicated-backed store's index is an audit,
+// not locality — enumerating it must leave the replication ledger and the
+// replica set untouched.
+func TestIndexDoesNotPromote(t *testing.T) {
+	owner := store.NewMemory("owner", 0)
+	repl, err := store.NewReplicated("repl", owner, store.NewMemory("local", 0), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeder, _ := NewWithBackend(owner, 0) // write entries straight to the owner
+	for seed := uint64(1); seed <= 5; seed++ {
+		if err := seeder.Put(spec(seed), fakeResult(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := NewWithBackend(repl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		idx, err := st.Index()
+		if err != nil || len(idx) != 5 {
+			t.Fatalf("index = %d rows (%v)", len(idx), err)
+		}
+	}
+	rs := repl.Stats().Replication
+	if rs.OwnerFetches != 0 || rs.Promotions != 0 {
+		t.Fatalf("indexing moved the replication ledger: %+v", rs)
+	}
+}
+
+// TestSpecIndexBounded: with -max-entries set, the spec metadata cache
+// must not grow without bound either.
+func TestSpecIndexBounded(t *testing.T) {
+	st, err := NewWithLimit("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := st.specsBound()
+	if bound == 0 {
+		t.Fatal("bounded store must bound its spec index")
+	}
+	for seed := uint64(1); seed <= uint64(bound)+50; seed++ {
+		st.Put(spec(seed), fakeResult(seed))
+	}
+	st.mu.Lock()
+	n := len(st.specs)
+	st.mu.Unlock()
+	if n > bound {
+		t.Fatalf("spec index grew to %d, bound %d", n, bound)
+	}
+	// Unbounded stores keep every spec (the index never re-decodes).
+	st2, _ := NewWithLimit("", 0)
+	if st2.specsBound() != 0 {
+		t.Fatal("unbounded store must keep every spec")
+	}
+}
+
+// TestRawRoundTrip covers the peer-facing raw entry surface: GetRaw serves
+// canonical bytes, PutRaw validates and stores them, and a mislabeled or
+// corrupt envelope is rejected.
+func TestRawRoundTrip(t *testing.T) {
+	st, _ := New(t.TempDir())
+	sp := spec(7)
+	if err := st.Put(sp, fakeResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := st.GetRaw(sp.Key())
+	if err != nil || !ok {
+		t.Fatalf("GetRaw = %v, %v", ok, err)
+	}
+
+	// The bytes land unchanged in a second, unrelated store.
+	st2, _ := New(t.TempDir())
+	if err := st2.PutRaw(sp.Key(), b); err != nil {
+		t.Fatal(err)
+	}
+	res, got, ok, err := st2.GetByKey(sp.Key())
+	if err != nil || !ok || res.CompletionTime != 3 || got.Key() != sp.Key() {
+		t.Fatalf("after PutRaw: res=%+v ok=%v err=%v", res, ok, err)
+	}
+	b2, ok, _ := st2.GetRaw(sp.Key())
+	if !ok || string(b2) != string(b) {
+		t.Fatal("raw bytes must round-trip identically")
+	}
+
+	// A memory-only store re-encodes canonically.
+	st3, _ := New("")
+	st3.Put(sp, fakeResult(3))
+	b3, ok, err := st3.GetRaw(sp.Key())
+	if err != nil || !ok || string(b3) != string(b) {
+		t.Fatalf("memory-only GetRaw must produce canonical bytes (%v, %v)", ok, err)
+	}
+
+	// Poisoned envelopes are rejected: wrong key, body under another key,
+	// garbage.
+	other := spec(8)
+	if err := st2.PutRaw(other.Key(), b); err == nil {
+		t.Fatal("entry stored under a foreign key must be rejected")
+	}
+	if err := st2.PutRaw(sp.Key(), []byte("{")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if err := st2.PutRaw("nothex", b); err == nil {
+		t.Fatal("malformed key must be rejected")
+	}
+
+	// Delete clears every layer.
+	if err := st2.Delete(sp.Key()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := st2.GetByKey(sp.Key()); ok {
+		t.Fatal("deleted key must be gone")
+	}
+}
+
+// TestOpenComposition exercises the BackendConfig stacks: flat, sharded,
+// and validation failures.
+func TestOpenComposition(t *testing.T) {
+	flat, err := Open(BackendConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := flat.Backend().(*store.Disk); !ok {
+		t.Fatalf("flat config opened %T", flat.Backend())
+	}
+	sharded, err := Open(BackendConfig{Dir: t.TempDir(), Shards: 4, MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := sharded.Backend().(*store.Sharded)
+	if !ok || sh.Shards() != 4 {
+		t.Fatalf("sharded config opened %T", sharded.Backend())
+	}
+	if sharded.MaxEntries() != 8 {
+		t.Fatalf("MaxEntries = %d", sharded.MaxEntries())
+	}
+	memOnly, err := Open(BackendConfig{})
+	if err != nil || memOnly.Backend() != nil {
+		t.Fatalf("zero config must open memory-only (%v)", err)
+	}
+	if _, err := Open(BackendConfig{Peer: "not a url"}); err == nil {
+		t.Fatal("invalid peer URL must be rejected")
+	}
+	if _, err := Open(BackendConfig{Peer: "http://peer:1", ReplicateThreshold: -1}); err == nil {
+		t.Fatal("negative threshold must be rejected")
+	}
+}

@@ -15,6 +15,13 @@
 //	GET  /v1/campaigns/{id}/table  render a completed campaign as a
 //	                               figure-style table
 //	GET  /v1/results               index of every stored run spec
+//	                               (?limit=&offset= pages; ?keys=1 lists
+//	                               raw keys only)
+//	GET  /v1/results/{key}         one raw encoded entry (the peer-
+//	                               replication fetch path)
+//	PUT  /v1/results/{key}         store a raw encoded entry (validated
+//	                               against its own content address)
+//	DELETE /v1/results/{key}       drop an entry from every layer
 //	GET  /v1/benchmarks            list the benchmark names
 //	GET  /v1/schemes               registered replication policies with
 //	                               their tunables and figure columns
@@ -36,12 +43,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"lard"
 	"lard/internal/resultstore"
+	"lard/internal/store"
 )
 
 // RunFunc executes one simulation through a store. It is a seam for tests;
@@ -185,6 +195,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/table", s.handleCampaignTable)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
+	s.mux.HandleFunc("PUT /v1/results/{key}", s.handleResultPut)
+	s.mux.HandleFunc("DELETE /v1/results/{key}", s.handleResultDelete)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -460,14 +473,111 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleResults implements GET /v1/results: the index of stored run specs.
+// handleResults implements GET /v1/results: the index of stored run
+// specs. ?limit= and ?offset= page the (key-sorted) index so a large
+// store never renders in one response; spec metadata comes from the
+// store's in-memory index when resident, so a page costs at most `limit`
+// backend reads. ?keys=1 lists raw keys only, decoding nothing — the
+// listing a Remote peer backend uses.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	idx, err := s.store.Index()
+	q := r.URL.Query()
+	if q.Get("keys") != "" {
+		keys, err := s.store.Keys()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "keys": keys})
+		return
+	}
+	limit, err := queryInt(q.Get("limit"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	offset, err := queryInt(q.Get("offset"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	idx, total, err := s.store.IndexPage(offset, limit)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(idx), "results": idx})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   total,
+		"offset":  offset,
+		"limit":   limit,
+		"results": idx,
+	})
+}
+
+// queryInt parses a non-negative integer query parameter.
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid query value %q: want a non-negative integer", s)
+	}
+	return n, nil
+}
+
+// handleResultGet implements GET /v1/results/{key}: the raw encoded entry,
+// exactly as stored. This is the fetch path of a peer's Remote backend —
+// and of the locality-aware replicator stacked on it.
+func (s *Server) handleResultGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok, err := s.store.GetRaw(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown result %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// maxRawEntry bounds a PUT /v1/results/{key} body.
+const maxRawEntry = 64 << 20
+
+// handleResultPut implements PUT /v1/results/{key}: store a raw entry.
+// The body must decode to a self-consistent envelope whose spec re-derives
+// the key, so a peer can never plant a result under a foreign address.
+func (s *Server) handleResultPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRawEntry))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read entry: %w", err))
+		return
+	}
+	if err := s.store.PutRaw(key, b); err != nil {
+		// The client is only at fault for a bad envelope; a failing
+		// backend (full disk, unreachable shard) is the server's problem
+		// and must read as retryable.
+		code := http.StatusInternalServerError
+		if errors.Is(err, resultstore.ErrInvalidEntry) {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleResultDelete implements DELETE /v1/results/{key}.
+func (s *Server) handleResultDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("key")); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // handleBenchmarks implements GET /v1/benchmarks.
@@ -499,6 +609,9 @@ type statsView struct {
 	Store        resultstore.Stats `json:"store"`
 	StoreEntries int               `json:"store_entries"`
 	StoreDir     string            `json:"store_dir,omitempty"`
+	// Backend is the persistent backend's counter tree — per-shard traffic
+	// and entry counts, replication ledger — absent on memory-only stores.
+	Backend *store.Stats `json:"backend,omitempty"`
 }
 
 // handleStats implements GET /stats.
@@ -510,7 +623,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	nCampaigns := len(s.campaigns)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsView{
+	view := statsView{
 		Workers:      s.workers,
 		QueueLen:     len(s.queue),
 		QueueCap:     cap(s.queue),
@@ -519,7 +632,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Store:        s.store.Stats(),
 		StoreEntries: s.store.Len(),
 		StoreDir:     s.store.Dir(),
-	})
+	}
+	if bs, ok := s.store.BackendStats(); ok {
+		view.Backend = &bs
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // writeJSON writes v as a JSON response.

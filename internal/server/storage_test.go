@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lard"
+	"lard/internal/resultstore"
+)
+
+// TestRawResultEndpoints covers the peer-facing raw entry surface over
+// HTTP: GET serves stored bytes, PUT validates and stores them on another
+// node, DELETE drops them, and poisoned envelopes bounce.
+func TestRawResultEndpoints(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2})
+	req := smallRun(21)
+	key, err := lard.KeyFor(req.Benchmark, req.Scheme, req.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, v := post(t, tsA, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	poll(t, tsA, v.ID)
+
+	// GET the raw entry.
+	resp, err := http.Get(tsA.URL + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw get = %d: %s", resp.StatusCode, raw)
+	}
+	var env struct {
+		Key    string          `json:"key"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Key != key || len(env.Result) == 0 {
+		t.Fatalf("raw entry malformed: %v %q", err, env.Key)
+	}
+
+	// PUT it into a second, empty node; the run becomes servable there
+	// without a simulation.
+	sB, tsB := newTestServer(t, Config{Workers: 1})
+	putReq, _ := http.NewRequest(http.MethodPut, tsB.URL+"/v1/results/"+key, bytes.NewReader(raw))
+	putResp, err := http.DefaultClient.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("raw put = %d", putResp.StatusCode)
+	}
+	if code, v := post(t, tsB, req); code != http.StatusOK || !v.Cached {
+		t.Fatalf("transplanted run not served from store: %d %+v", code, v)
+	}
+	if c := sB.store.Stats().Computes; c != 0 {
+		t.Fatalf("node B simulated %d times after raw transplant", c)
+	}
+
+	// A foreign-key PUT is rejected.
+	badKey := strings.Repeat("ab", 32)
+	badReq, _ := http.NewRequest(http.MethodPut, tsB.URL+"/v1/results/"+badKey, bytes.NewReader(raw))
+	badResp, _ := http.DefaultClient.Do(badReq)
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("foreign-key put = %d, want 400", badResp.StatusCode)
+	}
+
+	// DELETE drops the entry; the raw GET then answers 404.
+	delReq, _ := http.NewRequest(http.MethodDelete, tsB.URL+"/v1/results/"+key, nil)
+	delResp, _ := http.DefaultClient.Do(delReq)
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d", delResp.StatusCode)
+	}
+	gone, _ := http.Get(tsB.URL + "/v1/results/" + key)
+	io.Copy(io.Discard, gone.Body)
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted entry get = %d, want 404", gone.StatusCode)
+	}
+}
+
+// TestResultsPaging covers GET /v1/results paging and the keys-only
+// listing.
+func TestResultsPaging(t *testing.T) {
+	st, err := resultstore.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five distinct stored runs, via the facade so specs are real.
+	for seed := uint64(1); seed <= 5; seed++ {
+		o := lard.Options{Cores: 16, OpsScale: 0.02, Seed: seed}
+		if _, _, err := lard.RunWithStore(st, "BARNES", lard.SNUCA(), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ts := newTestServer(t, Config{Store: st, Workers: 1})
+
+	page := func(q string) (int, map[string]json.RawMessage) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/results" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, m
+	}
+
+	code, m := page("?limit=2&offset=3")
+	if code != http.StatusOK {
+		t.Fatalf("paged index = %d", code)
+	}
+	var count int
+	var rows []resultstore.IndexEntry
+	json.Unmarshal(m["count"], &count)
+	json.Unmarshal(m["results"], &rows)
+	if count != 5 || len(rows) != 2 {
+		t.Fatalf("page = %d rows of %d total, want 2 of 5", len(rows), count)
+	}
+
+	code, m = page("?keys=1")
+	var keys []string
+	json.Unmarshal(m["keys"], &keys)
+	if code != http.StatusOK || len(keys) != 5 {
+		t.Fatalf("keys listing = %d, %d keys", code, len(keys))
+	}
+	for _, k := range keys {
+		if len(k) != 64 {
+			t.Fatalf("malformed key %q", k)
+		}
+	}
+
+	if code, _ := page("?limit=nope"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", code)
+	}
+	if code, _ := page("?offset=-4"); code != http.StatusBadRequest {
+		t.Fatalf("negative offset = %d, want 400", code)
+	}
+}
+
+// TestPeerReplication stacks two real servers: node B names node A's store
+// as its owner backend through the replicated tier. A result computed on A
+// is served on B without simulating (and promoted into B's local replica
+// set); a result computed on B writes through to A.
+func TestPeerReplication(t *testing.T) {
+	sA, tsA := newTestServer(t, Config{Workers: 2})
+
+	stB, err := resultstore.Open(resultstore.BackendConfig{
+		Peer:               tsA.URL,
+		ReplicateThreshold: 1, // promote on first fetch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, tsB := newTestServer(t, Config{Store: stB, Workers: 2})
+
+	// Compute on A.
+	reqShared := smallRun(31)
+	code, v := post(t, tsA, reqShared)
+	if code != http.StatusAccepted {
+		t.Fatalf("A submit = %d", code)
+	}
+	done := poll(t, tsA, v.ID)
+
+	// B answers the same request synchronously from A's store — zero local
+	// simulations — and promotes the hot entry into its replica set.
+	code, vB := post(t, tsB, reqShared)
+	if code != http.StatusOK || !vB.Cached {
+		t.Fatalf("B should serve A's result from the peer store: %d %+v", code, vB)
+	}
+	if vB.Result == nil || vB.Result.CompletionCycles != done.Result.CompletionCycles {
+		t.Fatalf("peer-served result differs: %+v vs %+v", vB.Result, done.Result)
+	}
+	if c := sB.store.Stats().Computes; c != 0 {
+		t.Fatalf("B simulated %d times, want 0", c)
+	}
+	bs, ok := sB.store.BackendStats()
+	if !ok || bs.Replication == nil {
+		t.Fatalf("B must expose a replicated backend, got %+v", bs)
+	}
+	if bs.Replication.OwnerFetches == 0 || bs.Replication.Promotions == 0 {
+		t.Fatalf("replication counters flat: %+v", bs.Replication)
+	}
+
+	// A run computed on B writes through to the owner: A can now serve its
+	// raw entry without ever having simulated it.
+	reqNew := smallRun(32)
+	keyNew, _ := lard.KeyFor(reqNew.Benchmark, reqNew.Scheme, reqNew.Options)
+	code, vNew := post(t, tsB, reqNew)
+	if code != http.StatusAccepted {
+		t.Fatalf("B submit = %d", code)
+	}
+	poll(t, tsB, vNew.ID)
+	resp, err := http.Get(tsA.URL + "/v1/results/" + keyNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner A lacks B's computed entry: %d", resp.StatusCode)
+	}
+	if c := sA.store.Stats().Computes; c != 1 {
+		t.Fatalf("A computes = %d, want 1 (B's run must not re-simulate on A)", c)
+	}
+
+	// The locality win is observable: B's /metrics carries the replication
+	// families, /stats carries the backend tree.
+	mresp, err := http.Get(tsB.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, family := range []string{
+		"lard_replica_promotions_total",
+		"lard_replica_hits_total",
+		"lard_owner_fetches_total",
+		"lard_replica_evictions_total",
+		"lard_replicas",
+		"lard_backend_gets_total",
+	} {
+		if !strings.Contains(string(mb), family) {
+			t.Errorf("/metrics lacks %s", family)
+		}
+	}
+	sresp, _ := http.Get(tsB.URL + "/stats")
+	var sv struct {
+		Backend *struct {
+			Kind string `json:"kind"`
+		} `json:"backend"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&sv); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sv.Backend == nil || sv.Backend.Kind != "replicated" {
+		t.Fatalf("/stats backend = %+v, want the replicated tier", sv.Backend)
+	}
+}
+
+// TestShardedServerStats: a server over a sharded store reports per-shard
+// entry counts in /stats and /metrics.
+func TestShardedServerStats(t *testing.T) {
+	st, err := resultstore.Open(resultstore.BackendConfig{Dir: t.TempDir(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		o := lard.Options{Cores: 16, OpsScale: 0.02, Seed: seed}
+		if _, _, err := lard.RunWithStore(st, "BARNES", lard.SNUCA(), o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ts := newTestServer(t, Config{Store: st, Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sv struct {
+		Backend *struct {
+			Kind    string `json:"kind"`
+			Entries int    `json:"entries"`
+			Shards  []struct {
+				Name    string `json:"name"`
+				Entries int    `json:"entries"`
+			} `json:"shards"`
+		} `json:"backend"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sv)
+	resp.Body.Close()
+	if err != nil || sv.Backend == nil {
+		t.Fatalf("stats: %v %+v", err, sv)
+	}
+	if sv.Backend.Kind != "sharded" || len(sv.Backend.Shards) != 4 || sv.Backend.Entries != 6 {
+		t.Fatalf("backend tree = %+v", sv.Backend)
+	}
+	sum := 0
+	for _, sh := range sv.Backend.Shards {
+		sum += sh.Entries
+	}
+	if sum != 6 {
+		t.Fatalf("per-shard entries sum to %d, want 6", sum)
+	}
+
+	mresp, _ := http.Get(ts.URL + "/metrics")
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), fmt.Sprintf("lard_backend_entries{backend=%q,kind=%q}", "sharded/shard-00", "disk")) {
+		t.Errorf("/metrics lacks per-shard entry gauges:\n%s", grepLines(string(mb), "lard_backend_entries"))
+	}
+}
+
+// grepLines returns the lines of s containing substr (test diagnostics).
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

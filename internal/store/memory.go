@@ -1,0 +1,128 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Memory is an in-process Backend: a map with an optional LRU entry bound.
+// It is the replica target for diskless nodes and the workhorse of tests
+// and benchmarks. Values are copied on the way in and out, so callers can
+// never alias the store's internal buffers.
+type Memory struct {
+	name string
+	max  int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // of *memItem
+	lru     *list.List               // front = most recently used
+	counters
+}
+
+// memItem is one Memory entry.
+type memItem struct {
+	key string
+	val []byte
+}
+
+// NewMemory returns a memory backend holding at most maxEntries values,
+// evicting least-recently-used beyond that (0 = unbounded).
+func NewMemory(name string, maxEntries int) *Memory {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Memory{
+		name:    name,
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get implements Backend.
+func (m *Memory) Get(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gets++
+	el, ok := m.entries[key]
+	if !ok {
+		m.misses++
+		return nil, false, nil
+	}
+	m.hits++
+	m.lru.MoveToFront(el)
+	it := el.Value.(*memItem)
+	out := make([]byte, len(it.val))
+	copy(out, it.val)
+	return out, true, nil
+}
+
+// Put implements Backend.
+func (m *Memory) Put(key string, val []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: memory %s: invalid key %q", m.name, key)
+	}
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.puts++
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*memItem).val = cp
+		m.lru.MoveToFront(el)
+		return nil
+	}
+	m.entries[key] = m.lru.PushFront(&memItem{key: key, val: cp})
+	for m.max > 0 && m.lru.Len() > m.max {
+		oldest := m.lru.Back()
+		m.lru.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memItem).key)
+		m.evictions++
+	}
+	return nil
+}
+
+// Delete implements Backend.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deletes++
+	if el, ok := m.entries[key]; ok {
+		m.lru.Remove(el)
+		delete(m.entries, key)
+	}
+	return nil
+}
+
+// Index implements Backend.
+func (m *Memory) Index() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len returns the current entry count.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Stats implements Backend.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Name: m.name, Kind: "memory", Entries: len(m.entries)}
+	m.counters.snapshot(&s)
+	return s
+}
+
+// Close implements Backend.
+func (m *Memory) Close() error { return nil }

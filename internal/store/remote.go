@@ -1,0 +1,163 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxRemoteEntry bounds a fetched entry; a peer streaming more than this
+// is misbehaving, not serving a result.
+const maxRemoteEntry = 64 << 20
+
+// Remote is a Backend that proxies to a peer lard-server's /v1/results
+// endpoints, so stores stack across processes: a node can treat another
+// node's whole store — itself possibly sharded or replicated — as one
+// backend. Peering must stay acyclic (hub-and-spoke): two servers naming
+// each other as peers would forward a miss back and forth.
+type Remote struct {
+	name string
+	base string // URL prefix without trailing slash
+	c    *http.Client
+
+	mu sync.Mutex
+	counters
+}
+
+// NewRemote builds a remote backend for the lard-server at baseURL (e.g.
+// "http://peer:8347"). A nil client gets a 30-second-timeout default.
+func NewRemote(name, baseURL string, client *http.Client) (*Remote, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("store: remote %s: invalid peer URL %q", name, baseURL)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Remote{name: name, base: strings.TrimRight(baseURL, "/"), c: client}, nil
+}
+
+// URL returns the peer base URL.
+func (r *Remote) URL() string { return r.base }
+
+// Get implements Backend.
+func (r *Remote) Get(key string) ([]byte, bool, error) {
+	r.count(&r.gets)
+	if !ValidKey(key) {
+		r.count(&r.misses)
+		return nil, false, nil
+	}
+	resp, err := r.c.Get(r.base + "/v1/results/" + key)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: remote %s: get %s: %w", r.name, key, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		r.count(&r.misses)
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("store: remote %s: get %s: peer answered %s", r.name, key, resp.Status)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteEntry))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: remote %s: get %s: %w", r.name, key, err)
+	}
+	r.count(&r.hits)
+	return b, true, nil
+}
+
+// Put implements Backend.
+func (r *Remote) Put(key string, val []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: remote %s: invalid key %q", r.name, key)
+	}
+	r.count(&r.puts)
+	req, err := http.NewRequest(http.MethodPut, r.base+"/v1/results/"+key, bytes.NewReader(val))
+	if err != nil {
+		return fmt.Errorf("store: remote %s: put %s: %w", r.name, key, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote %s: put %s: %w", r.name, key, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("store: remote %s: put %s: peer answered %s", r.name, key, resp.Status)
+	}
+	return nil
+}
+
+// Delete implements Backend.
+func (r *Remote) Delete(key string) error {
+	if !ValidKey(key) {
+		return nil
+	}
+	r.count(&r.deletes)
+	req, err := http.NewRequest(http.MethodDelete, r.base+"/v1/results/"+key, nil)
+	if err != nil {
+		return fmt.Errorf("store: remote %s: delete %s: %w", r.name, key, err)
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote %s: delete %s: %w", r.name, key, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("store: remote %s: delete %s: peer answered %s", r.name, key, resp.Status)
+	}
+	return nil
+}
+
+// Index implements Backend via GET /v1/results?keys=1, the keys-only
+// listing the server serves without decoding entries.
+func (r *Remote) Index() ([]string, error) {
+	resp, err := r.c.Get(r.base + "/v1/results?keys=1")
+	if err != nil {
+		return nil, fmt.Errorf("store: remote %s: index: %w", r.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store: remote %s: index: peer answered %s", r.name, resp.Status)
+	}
+	var body struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRemoteEntry)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("store: remote %s: index: %w", r.name, err)
+	}
+	return body.Keys, nil
+}
+
+// Stats implements Backend. Entries is unknown (-1): counting the peer's
+// store on every scrape would turn a local snapshot into a network call.
+func (r *Remote) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{Name: r.name, Kind: "remote", Entries: -1}
+	r.counters.snapshot(&s)
+	return s
+}
+
+// Close implements Backend.
+func (r *Remote) Close() error {
+	r.c.CloseIdleConnections()
+	return nil
+}
+
+// count bumps one counter under the lock.
+func (r *Remote) count(c *uint64) {
+	r.mu.Lock()
+	*c++
+	r.mu.Unlock()
+}

@@ -1,0 +1,283 @@
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// maxTrackedKeys bounds the reuse-counter table. Like the paper's
+// classifier — which tracks locality in a bounded per-line slot, not an
+// unbounded side table — the replicator forgets the coldest counters
+// rather than growing without bound.
+const maxTrackedKeys = 1 << 16
+
+// Replicated is the locality-aware replication tier, the storage analogue
+// of the paper's reuse-threshold (RT) protocol. Every key has one owner —
+// the owner backend, typically a Sharded composite or a Remote peer — and
+// reads normally fetch from it. A key whose observed reuse reaches the
+// threshold is promoted: its bytes are copied into the local backend (the
+// reading node's own memory or disk shard), and subsequent reads are
+// served locally instead of crossing to the owner — exactly the paper's
+// "replicate only what is reused, near the reader" placement, applied to
+// stored results instead of cache lines.
+//
+// The replica set is bounded by capacity: promoting beyond it evicts the
+// least-recently-used replica back to owner-only (the owner always holds
+// the authoritative copy, so eviction is a delete, never a writeback).
+// Writes go to the owner, refreshing a local replica only when one exists,
+// and deletes clear both sides.
+type Replicated struct {
+	name      string
+	owner     Backend
+	local     Backend
+	threshold int
+	capacity  int // 0 = unbounded
+
+	mu       sync.Mutex
+	reuse    map[string]*list.Element // of *reuseEntry, LRU-bounded
+	reuseLRU *list.List
+	replicas map[string]*list.Element // of string key, front = most recent
+	repLRU   *list.List
+	rstats   ReplicationStats
+	counters
+}
+
+// reuseEntry is one reuse counter.
+type reuseEntry struct {
+	key   string
+	count int
+}
+
+// NewReplicated builds the replication tier: owner is the authoritative
+// backend, local the reader-side replica target, threshold the reuse count
+// that triggers promotion (>= 1), capacity the replica bound (0 =
+// unbounded, subject to the local backend's own limits).
+func NewReplicated(name string, owner, local Backend, threshold, capacity int) (*Replicated, error) {
+	if owner == nil || local == nil {
+		return nil, fmt.Errorf("store: replicated %s: owner and local backends are required", name)
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("store: replicated %s: replication threshold %d, want >= 1 (the reuse count that earns a local replica)", name, threshold)
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Replicated{
+		name:      name,
+		owner:     owner,
+		local:     local,
+		threshold: threshold,
+		capacity:  capacity,
+		reuse:     make(map[string]*list.Element),
+		reuseLRU:  list.New(),
+		replicas:  make(map[string]*list.Element),
+		repLRU:    list.New(),
+	}, nil
+}
+
+// Owner returns the authoritative backend.
+func (r *Replicated) Owner() Backend { return r.owner }
+
+// Local returns the reader-side replica backend.
+func (r *Replicated) Local() Backend { return r.local }
+
+// Threshold returns the promotion reuse threshold.
+func (r *Replicated) Threshold() int { return r.threshold }
+
+// Path delegates to the owner backend when it can name entry paths.
+func (r *Replicated) Path(key string) string {
+	if p, ok := r.owner.(interface{ Path(string) string }); ok {
+		return p.Path(key)
+	}
+	return ""
+}
+
+// Get implements Backend: local replica first, owner on a replica miss,
+// with threshold-gated promotion.
+func (r *Replicated) Get(key string) ([]byte, bool, error) {
+	r.mu.Lock()
+	r.gets++
+	replicated := r.replicas[key] != nil
+	if replicated {
+		r.repLRU.MoveToFront(r.replicas[key])
+	}
+	r.mu.Unlock()
+
+	if replicated {
+		b, ok, err := r.local.Get(key)
+		if err == nil && ok {
+			r.mu.Lock()
+			r.hits++
+			r.rstats.ReplicaHits++
+			r.mu.Unlock()
+			return b, true, nil
+		}
+		// The local backend lost the replica (its own eviction bound, a
+		// wiped directory) or failed outright; either way the owner holds
+		// the authoritative copy — fall through to it and drop the stale
+		// bookkeeping. A replica is an optimization and must never turn a
+		// servable read into an error.
+		r.mu.Lock()
+		if el, ok := r.replicas[key]; ok {
+			r.repLRU.Remove(el)
+			delete(r.replicas, key)
+		}
+		r.mu.Unlock()
+	}
+
+	b, ok, err := r.owner.Get(key)
+	if err != nil || !ok {
+		if err == nil {
+			r.count2(&r.misses, nil)
+		}
+		return nil, false, err
+	}
+	r.mu.Lock()
+	r.hits++
+	r.rstats.OwnerFetches++
+	promote := r.bumpReuseLocked(key) >= r.threshold
+	r.mu.Unlock()
+	if promote {
+		if perr := r.promote(key, b); perr != nil {
+			// Promotion is an optimization; a failing local backend must
+			// not turn a successful owner read into an error.
+			return b, true, nil
+		}
+	}
+	return b, true, nil
+}
+
+// bumpReuseLocked increments key's reuse counter, evicting the coldest
+// counter beyond the tracking bound. Callers hold r.mu.
+func (r *Replicated) bumpReuseLocked(key string) int {
+	if el, ok := r.reuse[key]; ok {
+		e := el.Value.(*reuseEntry)
+		e.count++
+		r.reuseLRU.MoveToFront(el)
+		return e.count
+	}
+	r.reuse[key] = r.reuseLRU.PushFront(&reuseEntry{key: key, count: 1})
+	for r.reuseLRU.Len() > maxTrackedKeys {
+		oldest := r.reuseLRU.Back()
+		r.reuseLRU.Remove(oldest)
+		delete(r.reuse, oldest.Value.(*reuseEntry).key)
+	}
+	return 1
+}
+
+// promote copies key's bytes into the local backend and enrolls it in the
+// bounded replica set, evicting the least-recently-used replica back to
+// owner-only beyond capacity.
+func (r *Replicated) promote(key string, val []byte) error {
+	if err := r.local.Put(key, val); err != nil {
+		return err
+	}
+	var evict []string
+	r.mu.Lock()
+	if el, ok := r.replicas[key]; ok {
+		r.repLRU.MoveToFront(el)
+	} else {
+		r.replicas[key] = r.repLRU.PushFront(key)
+		r.rstats.Promotions++
+		for r.capacity > 0 && r.repLRU.Len() > r.capacity {
+			oldest := r.repLRU.Back()
+			r.repLRU.Remove(oldest)
+			k := oldest.Value.(string)
+			delete(r.replicas, k)
+			// The demoted key must re-earn its replica from zero, as the
+			// paper's demoted lines restart classification — otherwise the
+			// next read re-promotes instantly and the set thrashes.
+			if el, ok := r.reuse[k]; ok {
+				r.reuseLRU.Remove(el)
+				delete(r.reuse, k)
+			}
+			r.rstats.ReplicaEvictions++
+			r.evictions++
+			evict = append(evict, k)
+		}
+	}
+	r.mu.Unlock()
+	for _, k := range evict {
+		r.local.Delete(k) // owner still holds it; best-effort cleanup
+	}
+	return nil
+}
+
+// Put implements Backend: write through to the owner, refreshing the local
+// copy only when a replica exists (a stale replica would undo the
+// content-address contract if a key were ever rewritten).
+func (r *Replicated) Put(key string, val []byte) error {
+	r.mu.Lock()
+	r.puts++
+	_, replicated := r.replicas[key]
+	r.mu.Unlock()
+	if err := r.owner.Put(key, val); err != nil {
+		return err
+	}
+	if replicated {
+		return r.local.Put(key, val)
+	}
+	return nil
+}
+
+// Delete implements Backend: both sides forget the key.
+func (r *Replicated) Delete(key string) error {
+	r.mu.Lock()
+	r.deletes++
+	if el, ok := r.replicas[key]; ok {
+		r.repLRU.Remove(el)
+		delete(r.replicas, key)
+	}
+	if el, ok := r.reuse[key]; ok {
+		r.reuseLRU.Remove(el)
+		delete(r.reuse, key)
+	}
+	r.mu.Unlock()
+	return errors.Join(r.owner.Delete(key), r.local.Delete(key))
+}
+
+// Index implements Backend: the owner is the source of truth; replicas are
+// a cache, never additional state.
+func (r *Replicated) Index() ([]string, error) { return r.owner.Index() }
+
+// IndexGet reads key for audit/index purposes, straight from the owner
+// with no reuse bookkeeping: enumerating a store must not look like
+// locality — it would promote every cold key and evict genuinely hot
+// replicas through the capacity bound.
+func (r *Replicated) IndexGet(key string) ([]byte, bool, error) {
+	return r.owner.Get(key)
+}
+
+// Stats implements Backend: the tier's counters plus the replication
+// ledger, with owner and local nested as pseudo-shards.
+func (r *Replicated) Stats() Stats {
+	r.mu.Lock()
+	s := Stats{Name: r.name, Kind: "replicated"}
+	r.counters.snapshot(&s)
+	rs := r.rstats
+	rs.Replicas = len(r.replicas)
+	s.Replication = &rs
+	r.mu.Unlock()
+	owner, local := r.owner.Stats(), r.local.Stats()
+	s.Entries = owner.Entries
+	s.Shards = []Stats{owner, local}
+	return s
+}
+
+// Close implements Backend.
+func (r *Replicated) Close() error {
+	return errors.Join(r.owner.Close(), r.local.Close())
+}
+
+// count2 bumps a counter (and optionally a replication counter) under the
+// lock.
+func (r *Replicated) count2(c *uint64, rc *uint64) {
+	r.mu.Lock()
+	*c++
+	if rc != nil {
+		*rc++
+	}
+	r.mu.Unlock()
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sharded is a composite Backend that routes every key to exactly one of N
+// child backends by rendezvous consistent hashing: each (key, shard) pair
+// scores deterministically and the highest score owns the key. Routing is
+// stateless and stable across processes — the same key always lands on the
+// same shard — and adding a shard moves only ~1/(N+1) of the keyspace,
+// never shuffling keys between surviving shards.
+type Sharded struct {
+	name     string
+	children []Backend
+
+	mu sync.Mutex
+	counters
+}
+
+// NewSharded builds a sharded composite over the given children (at least
+// one). Children may be any Backend — disks on separate spindles, Remote
+// peers, or further composites.
+func NewSharded(name string, children ...Backend) (*Sharded, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("store: sharded %s: no children", name)
+	}
+	return &Sharded{name: name, children: children}, nil
+}
+
+// ShardFor returns the index of the child backend that owns key.
+func (s *Sharded) ShardFor(key string) int {
+	best, bestScore := 0, uint64(0)
+	for i := range s.children {
+		if score := rendezvousScore(key, i); i == 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Shard returns the i-th child backend (for per-shard introspection).
+func (s *Sharded) Shard(i int) Backend { return s.children[i] }
+
+// Shards returns the number of children.
+func (s *Sharded) Shards() int { return len(s.children) }
+
+// Path returns the owning shard's entry path for key, when that shard can
+// name one (a Disk child); otherwise "".
+func (s *Sharded) Path(key string) string {
+	if p, ok := s.children[s.ShardFor(key)].(interface{ Path(string) string }); ok {
+		return p.Path(key)
+	}
+	return ""
+}
+
+// Get implements Backend.
+func (s *Sharded) Get(key string) ([]byte, bool, error) {
+	b, ok, err := s.children[s.ShardFor(key)].Get(key)
+	s.mu.Lock()
+	s.gets++
+	if err == nil && ok {
+		s.hits++
+	} else if err == nil {
+		s.misses++
+	}
+	s.mu.Unlock()
+	return b, ok, err
+}
+
+// Put implements Backend.
+func (s *Sharded) Put(key string, val []byte) error {
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return s.children[s.ShardFor(key)].Put(key, val)
+}
+
+// Delete implements Backend.
+func (s *Sharded) Delete(key string) error {
+	s.mu.Lock()
+	s.deletes++
+	s.mu.Unlock()
+	return s.children[s.ShardFor(key)].Delete(key)
+}
+
+// Index implements Backend: the sorted union of every child's keys.
+func (s *Sharded) Index() ([]string, error) {
+	var keys []string
+	for _, c := range s.children {
+		ks, err := c.Index()
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, ks...)
+	}
+	sort.Strings(keys)
+	// Children own disjoint keyspaces by construction, but a re-sharded
+	// directory can leave strays behind; dedup so the index stays a set.
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Stats implements Backend: the composite's routing counters with one
+// nested snapshot per shard. Entries is the sum over shards (or -1 if any
+// shard does not know its count).
+func (s *Sharded) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{Name: s.name, Kind: "sharded"}
+	s.counters.snapshot(&st)
+	s.mu.Unlock()
+	for _, c := range s.children {
+		cs := c.Stats()
+		if st.Entries >= 0 && cs.Entries >= 0 {
+			st.Entries += cs.Entries
+		} else {
+			st.Entries = -1
+		}
+		st.Shards = append(st.Shards, cs)
+	}
+	return st
+}
+
+// Close implements Backend: closes every child, returning the first error.
+func (s *Sharded) Close() error {
+	var errs []error
+	for _, c := range s.children {
+		errs = append(errs, c.Close())
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,126 @@
+package lard_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"lard"
+	"lard/internal/harness"
+	"lard/internal/resultstore"
+	"lard/internal/store"
+)
+
+// newShardSet opens the same 4-shard disk layout twice-openably under dir.
+func newShardSet(t *testing.T, dir string) *store.Sharded {
+	t.Helper()
+	children := make([]store.Backend, 4)
+	for i := range children {
+		name := fmt.Sprintf("shard-%02d", i)
+		d, err := store.NewDisk(name, filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = d
+	}
+	sh, err := store.NewSharded("sharded", children...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// TestShardedCampaignReplication is the storage tier's acceptance test,
+// mirroring the paper's protocol at the serving layer: a Figure-7 campaign
+// runs once into a 4-shard store; a second node repeats the campaign over
+// the same shards through the locality-aware replicated tier and performs
+// ZERO simulations, while hot keys are promoted into the node's local
+// backend and served from there — without touching their owner shards.
+func TestShardedCampaignReplication(t *testing.T) {
+	opts := lard.Options{Cores: 16, OpsScale: 0.02}
+	base := harness.Base{Cores: opts.Cores, OpsScale: opts.OpsScale}
+	if testing.Short() {
+		base.Benchmarks = []string{"BARNES", "RADIX", "LU-C", "OCEAN-C", "WATER-NSQ", "FFT"}
+	}
+	dir := t.TempDir()
+
+	// Pass 1: populate the sharded store with the full figure matrix.
+	sh1 := newShardSet(t, dir)
+	stA, err := resultstore.NewWithBackend(sh1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseA := base
+	baseA.Store = stA
+	if _, err := harness.RunMatrix(baseA, harness.StandardVariants()); err != nil {
+		t.Fatal(err)
+	}
+	if c := stA.Stats().Computes; c == 0 {
+		t.Fatal("first campaign must simulate")
+	}
+	for i, shard := range sh1.Stats().Shards {
+		if shard.Entries == 0 {
+			t.Errorf("shard %d is empty — keys are not spreading", i)
+		}
+	}
+
+	// Pass 2: a fresh reading node. The shard set is the owner tier; the
+	// node's own backend is a memory store; reuse threshold 1 promotes on
+	// first fetch. The façade's memory layer is bounded to one entry so
+	// every lookup exercises the storage tier rather than the decoded map.
+	sh2 := newShardSet(t, dir)
+	local := store.NewMemory("local", 0)
+	repl, err := store.NewReplicated("replicated", sh2, local, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := resultstore.NewWithBackend(repl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseB := base
+	baseB.Store = stB
+	if _, err := harness.RunMatrix(baseB, harness.StandardVariants()); err != nil {
+		t.Fatal(err)
+	}
+	if c := stB.Stats().Computes; c != 0 {
+		t.Fatalf("repeated campaign simulated %d times, want 0 (every member must come from the sharded store)", c)
+	}
+	rs := repl.Stats().Replication
+	if rs.OwnerFetches == 0 || rs.Promotions == 0 {
+		t.Fatalf("repeated campaign must fetch from owner shards and promote hot keys, got %+v", rs)
+	}
+
+	// The locality win: a promoted hot key is served from the node's local
+	// backend while its owner shard sees no traffic.
+	hotKey, err := lard.KeyFor("BARNES", lard.LocalityAware(3), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := local.Get(hotKey); !ok {
+		t.Fatal("hot key was not promoted into the local backend")
+	}
+	owner := sh2.ShardFor(hotKey)
+	// Push the hot key out of the façade's one-entry decoded layer so the
+	// next lookup reaches the storage tier.
+	coldKey, err := lard.KeyFor("BARNES", lard.SNUCA(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := stB.GetByKey(coldKey); err != nil || !ok {
+		t.Fatalf("cold key lookup: ok=%v err=%v", ok, err)
+	}
+
+	ownerGets := sh2.Shard(owner).Stats().Gets
+	replicaHits := repl.Stats().Replication.ReplicaHits
+	res, _, ok, err := stB.GetByKey(hotKey)
+	if err != nil || !ok || res == nil {
+		t.Fatalf("hot key lookup: ok=%v err=%v", ok, err)
+	}
+	if got := sh2.Shard(owner).Stats().Gets; got != ownerGets {
+		t.Fatalf("hot key read touched its owner shard (%d -> %d gets); it must be served from the local replica", ownerGets, got)
+	}
+	if got := repl.Stats().Replication.ReplicaHits; got <= replicaHits {
+		t.Fatalf("replica hits did not advance (%d -> %d)", replicaHits, got)
+	}
+}
