@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -15,10 +17,14 @@ import (
 
 // remoteFigure submits the figure matrix as ONE campaign to a lard-server
 // at base URL and renders the requested figure tables from the service,
-// performing zero local simulations. The client is deliberately dumb: it
-// re-POSTs the same matrix on 429 (the server sheds load when its queue is
-// full and continues the fan-out on resubmission) and polls the campaign
-// until every member is done.
+// performing zero local simulations. Progress comes from the campaign's
+// SSE event stream (GET /v1/campaigns/{id}/events): replayed history
+// catches the client up, then live per-member instructions-retired events
+// drive a progress bar until the campaign-terminal event. The client is
+// deliberately dumb about capacity: it re-POSTs the same matrix on 429
+// (the server sheds load when its queue is full and continues the fan-out
+// on resubmission), and if the event stream is unavailable — an older
+// server, a proxy that buffers — it degrades to the polling loop.
 func remoteFigure(base string, fig string, spec lard.CampaignSpec) error {
 	base = strings.TrimRight(base, "/")
 	body, err := json.Marshal(spec)
@@ -47,12 +53,120 @@ func remoteFigure(base string, fig string, spec lard.CampaignSpec) error {
 	}
 	fmt.Printf("lard-bench: campaign %s: %d members\n", view.ID, view.Total)
 
-	// Poll to completion.
+	if !view.Complete {
+		if err := watchCampaign(base, &view); err != nil {
+			fmt.Fprintf(os.Stderr, "lard-bench: event stream unavailable (%v), falling back to polling\n", err)
+			if err := pollCampaign(base, &view, body); err != nil {
+				return err
+			}
+		}
+	}
+	if n := view.Counts[server.StatusFailed] + view.Counts[server.StatusCancelled]; n > 0 {
+		for _, m := range view.Members {
+			if m.Status == server.StatusFailed || m.Status == server.StatusCancelled {
+				return fmt.Errorf("remote member %s/%s %s: %s", m.Benchmark, m.Scheme, m.Status, m.Error)
+			}
+		}
+	}
+
+	metrics := map[string][]string{
+		"6": {"energy"}, "7": {"time"}, "all": {"energy", "time"},
+	}[fig]
+	for _, metric := range metrics {
+		var tbl struct {
+			Table string `json:"table"`
+		}
+		code, err := getJSON(base+"/v1/campaigns/"+view.ID+"/table?metric="+metric, &tbl)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("remote table: HTTP %d", code)
+		}
+		fmt.Println(tbl.Table)
+	}
+	return nil
+}
+
+// watchCampaign consumes the campaign's SSE stream, rendering a live
+// progress bar from per-member instructions-retired events until the
+// campaign-terminal frame, then refreshes the final view. Returns an error
+// only when the stream cannot be established or dies early — the caller
+// falls back to polling.
+func watchCampaign(base string, view *server.CampaignView) error {
+	resp, err := sseClient.Get(base + "/v1/campaigns/" + view.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+
+	bar := newProgressBar(os.Stderr, view.Total)
+	// Member fraction ledger: terminal members pin at 1.
+	frac := make(map[string]float64, view.Total)
+	done := make(map[string]bool, view.Total)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // id: lines, heartbeats, separators
+		}
+		var ev server.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("decode event: %w", err)
+		}
+		if ev.Job == "" && ev.Terminal {
+			// Campaign complete (or failed); the final GET below reports.
+			bar.finish()
+			code, err := getJSON(base+"/v1/campaigns/"+view.ID, view)
+			if err != nil {
+				return err
+			}
+			if code != http.StatusOK {
+				return fmt.Errorf("final view: HTTP %d", code)
+			}
+			return nil
+		}
+		if ev.Job == "" {
+			continue
+		}
+		switch {
+		case ev.Terminal:
+			done[ev.Job] = true
+			frac[ev.Job] = 1
+		default:
+			frac[ev.Job] = ev.Progress
+		}
+		overall := 0.0
+		for _, f := range frac {
+			overall += f
+		}
+		bar.update(len(done), overall/float64(view.Total), ev.Benchmark, ev.Scheme)
+	}
+	bar.finish()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("stream ended before the campaign completed")
+}
+
+// pollCampaign is the legacy completion loop: poll the view, re-POSTing
+// the matrix while members are pending (part-filled fan-outs and evicted
+// job records only progress on re-POST).
+func pollCampaign(base string, viewp *server.CampaignView, body []byte) error {
+	view := *viewp
 	for !view.Complete {
-		if n := view.Counts[server.StatusFailed]; n > 0 {
+		// Failed AND cancelled members are both terminal-but-not-done:
+		// without this check the campaign never completes and the loop
+		// would poll an unchanging view forever.
+		if n := view.Counts[server.StatusFailed] + view.Counts[server.StatusCancelled]; n > 0 {
 			for _, m := range view.Members {
-				if m.Status == server.StatusFailed {
-					return fmt.Errorf("remote member %s/%s failed: %s", m.Benchmark, m.Scheme, m.Error)
+				if m.Status == server.StatusFailed || m.Status == server.StatusCancelled {
+					return fmt.Errorf("remote member %s/%s %s: %s", m.Benchmark, m.Scheme, m.Status, m.Error)
 				}
 			}
 		}
@@ -83,30 +197,54 @@ func remoteFigure(base string, fig string, spec lard.CampaignSpec) error {
 			view.Counts[server.StatusRunning], view.Counts[server.StatusQueued],
 			view.Counts[server.StatusPending])
 	}
-
-	metrics := map[string][]string{
-		"6": {"energy"}, "7": {"time"}, "all": {"energy", "time"},
-	}[fig]
-	for _, metric := range metrics {
-		var tbl struct {
-			Table string `json:"table"`
-		}
-		code, err := getJSON(base+"/v1/campaigns/"+view.ID+"/table?metric="+metric, &tbl)
-		if err != nil {
-			return err
-		}
-		if code != http.StatusOK {
-			return fmt.Errorf("remote table: HTTP %d", code)
-		}
-		fmt.Println(tbl.Table)
-	}
+	*viewp = view
 	return nil
+}
+
+// progressBar renders a single-line campaign progress bar to w (a
+// terminal's stderr): overall fraction, members done, and the member that
+// advanced most recently.
+type progressBar struct {
+	w     io.Writer
+	total int
+	live  bool
+}
+
+func newProgressBar(w io.Writer, total int) *progressBar {
+	return &progressBar{w: w, total: total}
+}
+
+func (p *progressBar) update(done int, overall float64, bench, scheme string) {
+	const width = 30
+	filled := int(overall * width)
+	if filled > width {
+		filled = width
+	}
+	p.live = true
+	fmt.Fprintf(p.w, "\r[%s%s] %5.1f%%  %d/%d members  %s/%s          ",
+		strings.Repeat("#", filled), strings.Repeat("-", width-filled),
+		overall*100, done, p.total, bench, scheme)
+}
+
+func (p *progressBar) finish() {
+	if p.live {
+		fmt.Fprintln(p.w)
+	}
 }
 
 // httpClient bounds every request: campaign responses are small (the heavy
 // work is asynchronous), so a stalled connection must fail the call rather
 // than hang the poll loop forever.
 var httpClient = &http.Client{Timeout: 30 * time.Second}
+
+// sseClient has no overall timeout — an event stream legitimately lives
+// for the whole campaign — but still bounds the dial and response-header
+// wait so a dead server fails fast. Heartbeats keep live streams moving.
+var sseClient = &http.Client{
+	Transport: &http.Transport{
+		ResponseHeaderTimeout: 30 * time.Second,
+	},
+}
 
 // postJSON POSTs body and decodes the response into out.
 func postJSON(url string, body []byte, out any) (int, error) {

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"lard/internal/coherence"
 	"lard/internal/config"
@@ -60,11 +61,15 @@ type Spec struct {
 
 // SpecFor builds the canonical Spec for simulating benchmark bench on cfg
 // with opt. It normalizes defaulted fields (OpsScale 0 means 1.0, exactly
-// as sim.Run treats it) so equivalent requests share one address.
+// as sim.Run treats it) so equivalent requests share one address, and
+// strips the execution-only observer fields (progress callback, interrupt
+// channel): a spec is run identity, and two runs that differ only in who
+// is watching are the same run.
 func SpecFor(bench string, cfg *config.Config, opt sim.Options) Spec {
 	if opt.OpsScale == 0 {
 		opt.OpsScale = 1
 	}
+	opt.Progress, opt.ProgressEvery, opt.Interrupt = nil, 0, nil
 	return Spec{Benchmark: bench, Config: *cfg, Options: opt}
 }
 
@@ -529,6 +534,90 @@ func (s *Store) PutRaw(key string, b []byte) error {
 	s.memPutLocked(key, e.Spec, e.Result)
 	s.mu.Unlock()
 	return s.writeBackend(key, e.Spec, e.Result)
+}
+
+// Locate is the execution engine's placement probe: where does key's
+// result currently live, as far as this store can tell for free? The
+// in-memory decoded layer counts as the hottest placement (Held+Replica —
+// the result is already next to this process, decoded), then the backend's
+// own Locator refinement answers for disk shards and replica tiers. The
+// probe is side-effect-free: no counters move, no LRU order changes, no
+// reuse is recorded.
+func (s *Store) Locate(key string) store.Location {
+	if !validKey(key) {
+		return store.Location{Shard: -1}
+	}
+	s.mu.Lock()
+	_, inMem := s.mem[key]
+	s.mu.Unlock()
+	if inMem {
+		return store.Location{Held: true, Replica: true, Shard: -1}
+	}
+	if l, ok := s.backend.(store.Locator); ok {
+		return l.Locate(key)
+	}
+	return store.Location{Shard: -1}
+}
+
+// GCStats summarizes one garbage-collection sweep.
+type GCStats struct {
+	// Scanned is the number of index entries examined.
+	Scanned int `json:"scanned"`
+	// Matched is the number that met every criterion (age and, when set,
+	// benchmark).
+	Matched int `json:"matched"`
+	// Deleted is the number actually removed (0 on a dry run).
+	Deleted int `json:"deleted"`
+	// Undatable is the number of matched-benchmark entries skipped because
+	// no backend layer could date them; they are never deleted.
+	Undatable int `json:"undatable"`
+}
+
+// GC deletes stored results older than olderThan, optionally restricted to
+// one benchmark, through the exact same Delete path as the HTTP DELETE
+// endpoint (every layer: memory, spec index, backend). Entry age is the
+// backend's last-modified time (a write refreshes it, so GC measures
+// staleness of the bytes, not of first computation); entries the backend
+// cannot date are counted Undatable and left alone — age-based deletion
+// must never guess. With dryRun, nothing is deleted and Matched reports
+// what a real sweep would remove.
+func (s *Store) GC(olderThan time.Duration, benchmark string, dryRun bool) (GCStats, error) {
+	var st GCStats
+	mt, ok := s.backend.(store.ModTimer)
+	if !ok {
+		return st, errors.New("resultstore: gc: backend cannot date entries (memory-only store?)")
+	}
+	idx, err := s.Index()
+	if err != nil {
+		return st, err
+	}
+	cutoff := time.Now().Add(-olderThan)
+	for _, e := range idx {
+		st.Scanned++
+		if benchmark != "" && e.Benchmark != benchmark {
+			continue
+		}
+		t, dated, err := mt.ModTime(e.Key)
+		if err != nil {
+			return st, fmt.Errorf("resultstore: gc: date %s: %w", e.Key, err)
+		}
+		if !dated {
+			st.Undatable++
+			continue
+		}
+		if !t.Before(cutoff) {
+			continue
+		}
+		st.Matched++
+		if dryRun {
+			continue
+		}
+		if err := s.Delete(e.Key); err != nil {
+			return st, fmt.Errorf("resultstore: gc: delete %s: %w", e.Key, err)
+		}
+		st.Deleted++
+	}
+	return st, nil
 }
 
 // Delete removes key from every layer.

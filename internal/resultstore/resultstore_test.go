@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"lard/internal/config"
 	"lard/internal/mem"
@@ -385,5 +386,124 @@ func TestEnvelopeIsSelfDescribing(t *testing.T) {
 	}
 	if e.Key != sp.Key() || e.Spec.Benchmark != "BARNES" || e.Result == nil {
 		t.Fatalf("envelope incomplete: %+v", e)
+	}
+}
+
+// TestObserverFieldsAreKeyNeutral pins that progress callbacks and
+// interrupt channels never change a run's content address — and are
+// stripped from the canonical spec entirely.
+func TestObserverFieldsAreKeyNeutral(t *testing.T) {
+	bare := SpecFor("BARNES", config.Small(), sim.Options{Seed: 3})
+	ch := make(chan struct{})
+	watched := SpecFor("BARNES", config.Small(), sim.Options{
+		Seed:          3,
+		Progress:      func(done, total uint64) {},
+		ProgressEvery: 7,
+		Interrupt:     ch,
+	})
+	if bare.Key() != watched.Key() {
+		t.Fatal("observer fields changed the content address")
+	}
+	if watched.Options.Progress != nil || watched.Options.Interrupt != nil || watched.Options.ProgressEvery != 0 {
+		t.Fatalf("SpecFor must strip observer fields, got %+v", watched.Options)
+	}
+}
+
+// TestLocateStore covers the store-level placement probe: memory residency
+// is the hottest class, backend-held entries answer through the backend's
+// Locator, and the probe never perturbs store counters.
+func TestLocateStore(t *testing.T) {
+	st, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec(1)
+	if err := st.Put(sp, fakeResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	key := sp.Key()
+	if loc := st.Locate(key); !loc.Held || !loc.Replica {
+		t.Fatalf("memory-resident key = %+v, want held replica-class", loc)
+	}
+	if loc := st.Locate(spec(2).Key()); loc.Held {
+		t.Fatalf("absent key = %+v", loc)
+	}
+	if loc := st.Locate("not a key"); loc.Held {
+		t.Fatalf("malformed key = %+v", loc)
+	}
+
+	// A fresh store over the same directory holds the key on disk only:
+	// held, but not replica-class.
+	st2, err := New(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st2.Stats()
+	if loc := st2.Locate(key); !loc.Held || loc.Replica {
+		t.Fatalf("disk-held key = %+v, want held non-replica", loc)
+	}
+	if after := st2.Stats(); !reflect.DeepEqual(before, after) {
+		t.Fatalf("Locate moved store counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestGC covers the age-based sweep: old entries die through the full
+// Delete path, young and foreign-benchmark entries survive, dry runs
+// delete nothing, and memory-only stores refuse rather than guess.
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old1, old2, young := spec(1), spec(2), spec(3)
+	foreign := SpecFor("DEDUP", config.Small(), sim.Options{Seed: 1, OpsScale: 0.02})
+	for _, sp := range []Spec{old1, old2, young, foreign} {
+		if err := st.Put(sp, fakeResult(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Age three entries by backdating their files.
+	past := time.Now().Add(-48 * time.Hour)
+	for _, sp := range []Spec{old1, old2, foreign} {
+		if err := os.Chtimes(st.Backend().(interface{ Path(string) string }).Path(sp.Key()), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dry run: reports two would-be deletions (foreign is excluded by the
+	// benchmark filter), removes nothing.
+	gs, err := st.GC(24*time.Hour, "BARNES", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Scanned != 4 || gs.Matched != 2 || gs.Deleted != 0 {
+		t.Fatalf("dry run = %+v, want scanned 4 matched 2 deleted 0", gs)
+	}
+	if ks, _ := st.Keys(); len(ks) != 4 {
+		t.Fatalf("dry run deleted entries: %d keys left", len(ks))
+	}
+
+	// Real sweep, no benchmark filter: both old BARNES entries and the old
+	// DEDUP entry die; the young one survives everywhere.
+	gs, err = st.GC(24*time.Hour, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Matched != 3 || gs.Deleted != 3 || gs.Undatable != 0 {
+		t.Fatalf("sweep = %+v, want 3 deleted", gs)
+	}
+	ks, _ := st.Keys()
+	if len(ks) != 1 || ks[0] != young.Key() {
+		t.Fatalf("survivors = %v, want only %s", ks, young.Key())
+	}
+	if _, _, ok, _ := st.GetByKey(old1.Key()); ok {
+		t.Fatal("deleted entry still readable")
+	}
+
+	// Memory-only stores cannot date entries and must say so.
+	memSt, _ := New("")
+	if _, err := memSt.GC(time.Hour, "", false); err == nil {
+		t.Fatal("memory-only GC must error")
 	}
 }

@@ -1,20 +1,22 @@
 // Campaign endpoints: submit a whole benchmark x scheme matrix — one
 // figure's worth of runs — as a single job with fan-out, progress counters
-// and figure-style table rendering.
+// and figure-style table rendering. The fan-out, per-member accounting and
+// completion events live in internal/engine; these handlers translate
+// HTTP.
 //
 //	POST /v1/campaigns             body = lard.CampaignSpec; expands into
 //	                               content-addressed member runs and fans
-//	                               them out through the worker pool. 200
-//	                               when every member is already done (all
-//	                               served from the store), 202 while any is
+//	                               them out through the engine. 200 when
+//	                               every member is already done (all served
+//	                               from the store), 202 while any is
 //	                               pending, 429 when the queue filled before
 //	                               every member was enqueued (the campaign
 //	                               stays registered part-filled; re-POST the
 //	                               same body to continue the fan-out).
 //	GET  /v1/campaigns/{id}        per-member status plus aggregate counters
-//	                               (pending/queued/running/done/failed and
-//	                               cached).
-//	GET  /v1/campaigns/{id}/table  render the completed campaign as a
+//	                               (pending/queued/running/done/failed/
+//	                               cancelled, cached, campaign progress).
+//	GET  /v1/campaigns/{id}/table  render a completed campaign as a
 //	                               figure-style table (?metric=time|energy),
 //	                               normalized to the S-NUCA column when the
 //	                               campaign has one; 409 until complete.
@@ -31,222 +33,15 @@ import (
 	"net/http"
 
 	"lard"
+	"lard/internal/engine"
 	"lard/internal/harness"
 )
 
-// StatusPending marks a campaign member that is not progressing on its own:
-// the queue has not accepted it yet (429 part-fill), or its job record was
-// evicted from the registry — including a failed member whose record aged
-// out, whose result is therefore not in the store either. In every case
-// re-POSTing the campaign re-ensures the member (re-enqueueing it if
-// needed); clients that see persistent pending counts should re-POST, not
-// just poll.
-const StatusPending = "pending"
-
-// maxCampaigns bounds the campaign registry; the oldest registration is
-// evicted beyond it. Like evicted jobs, an evicted campaign is not lost
-// work: resubmitting its matrix rebuilds it from the store.
-const maxCampaigns = 1024
-
-// errShuttingDown aborts campaign fan-out during Shutdown.
-var errShuttingDown = errors.New("server shutting down")
-
-// memberRef is a campaign's view of one member run; the live state lives in
-// the shared job registry under key.
-type memberRef struct {
-	key       string
-	benchmark string
-	label     string
-}
-
-// campaign is the internal campaign record. The identity fields are
-// immutable after construction; cachedAttach and member state are guarded
-// by the server mutex.
-type campaign struct {
-	id      string
-	benches []string // row order (expansion order)
-	labels  []string // column order
-	members []memberRef
-	// enrolled marks members this campaign has already attached to or
-	// enqueued in some submission; cachedAttach marks the subset whose run
-	// was already computed at first enrollment (by an earlier direct
-	// submission or another campaign): the campaign got those without
-	// simulating, so they count as cached even though the job itself was
-	// not a store hit. Tracking enrollment per campaign keeps the
-	// accounting correct across part-fill (429) continuation re-POSTs.
-	enrolled     map[string]bool
-	cachedAttach map[string]bool
-}
-
-// newCampaign indexes the expanded members into a campaign record.
-func newCampaign(id string, members []lard.CampaignMember) *campaign {
-	c := &campaign{id: id, enrolled: make(map[string]bool), cachedAttach: make(map[string]bool)}
-	seenB := make(map[string]bool)
-	seenL := make(map[string]bool)
-	for _, m := range members {
-		if !seenB[m.Benchmark] {
-			seenB[m.Benchmark] = true
-			c.benches = append(c.benches, m.Benchmark)
-		}
-		if !seenL[m.Label] {
-			seenL[m.Label] = true
-			c.labels = append(c.labels, m.Label)
-		}
-		c.members = append(c.members, memberRef{key: m.Key, benchmark: m.Benchmark, label: m.Label})
-	}
-	return c
-}
-
 // CampaignMemberView is the wire representation of one member run.
-type CampaignMemberView struct {
-	ID        string `json:"id"`
-	Benchmark string `json:"benchmark"`
-	Scheme    string `json:"scheme"`
-	Status    string `json:"status"`
-	Cached    bool   `json:"cached"`
-	Error     string `json:"error,omitempty"`
-}
+type CampaignMemberView = engine.CampaignMemberView
 
-// CampaignView is the wire representation of a campaign: aggregate progress
-// counters plus per-member status. Cached counts the done members that were
-// served from the store rather than simulated for this campaign, so
-// Counts["done"] == Total with Cached == Total means the whole figure cost
-// zero simulations.
-type CampaignView struct {
-	ID       string               `json:"id"`
-	Total    int                  `json:"total"`
-	Counts   map[string]int       `json:"counts"`
-	Cached   int                  `json:"cached"`
-	Complete bool                 `json:"complete"`
-	Error    string               `json:"error,omitempty"`
-	Members  []CampaignMemberView `json:"members"`
-}
-
-// campaignViewLocked renders a campaign from the job registry alone.
-// Callers hold s.mu and should prefer campaignView, which adds the store
-// fallback for evicted member jobs.
-func (s *Server) campaignViewLocked(c *campaign) CampaignView {
-	v := CampaignView{ID: c.id, Total: len(c.members)}
-	for _, m := range c.members {
-		// Cached comes exclusively from the campaign's own accounting
-		// (cachedAttach, recorded at each member's first enrollment) and
-		// never from the job record: after registry eviction a re-POST
-		// legitimately recreates a member's job from the store with
-		// cached=true, and trusting that flag would launder a member this
-		// campaign simulated into the cached count.
-		mv := CampaignMemberView{
-			ID: m.key, Benchmark: m.benchmark, Scheme: m.label,
-			Status: StatusPending, Cached: c.cachedAttach[m.key],
-		}
-		if j, ok := s.jobs[m.key]; ok {
-			mv.Status, mv.Error = j.status, j.err
-		}
-		v.Members = append(v.Members, mv)
-	}
-	v.finalize()
-	return v
-}
-
-// finalize recomputes the aggregate counters from the member views.
-func (v *CampaignView) finalize() {
-	v.Counts = map[string]int{
-		StatusPending: 0, StatusQueued: 0, StatusRunning: 0,
-		StatusDone: 0, StatusFailed: 0,
-	}
-	v.Cached = 0
-	for _, m := range v.Members {
-		v.Counts[m.Status]++
-		if m.Status == StatusDone && m.Cached {
-			v.Cached++
-		}
-	}
-	v.Complete = v.Counts[StatusDone] == v.Total
-}
-
-// campaignView renders a campaign, consulting the job registry first and
-// the store for members whose job records were evicted after completion:
-// the registry only covers polling windows, but a computed member must
-// never flip a finished campaign back to pending while the store still
-// holds its result. Store faults propagate rather than masquerading as
-// pending members.
-func (s *Server) campaignView(c *campaign) (CampaignView, error) {
-	s.mu.Lock()
-	v := s.campaignViewLocked(c)
-	// Snapshot which pending members were ever enrolled: only those can be
-	// evicted-after-done. Never-enrolled members (shed by a part-filled
-	// 429) were just established as store misses by ensureJob, so probing
-	// them again would double the fan-out's I/O for nothing.
-	enrolled := make(map[string]bool, len(c.members))
-	for _, m := range c.members {
-		enrolled[m.key] = c.enrolled[m.key]
-	}
-	s.mu.Unlock()
-	changed := false
-	for i := range v.Members {
-		m := &v.Members[i]
-		if m.Status != StatusPending || !enrolled[m.ID] {
-			continue
-		}
-		// The member's Cached flag is NOT forced here: it carries the
-		// campaign's own cachedAttach record, so a member this campaign
-		// simulated stays counted as a simulation after eviction.
-		_, ok, err := lard.StoredByKey(s.store, m.ID)
-		if err != nil {
-			return CampaignView{}, err
-		}
-		if ok {
-			m.Status = StatusDone
-			changed = true
-		}
-	}
-	if changed {
-		v.finalize()
-	}
-	return v, nil
-}
-
-// ensureMember guarantees one member run of campaign c is progressing,
-// through the exact same path as a direct POST /v1/runs (ensureJob): an
-// existing job is attached to, a stored result materializes a completed
-// job, a novel run is enqueued, and failed jobs re-enqueue for retry. A
-// member found already done at its first enrollment into this campaign is
-// recorded as a cached attach — including members first reached by a
-// continuation re-POST after a 429 part-fill. It reports shed=true when
-// the queue is full (the member stays pending, not enrolled).
-func (s *Server) ensureMember(c *campaign, m lard.CampaignMember) (shed bool, err error) {
-	// Claim the enrollment BEFORE ensuring: a concurrent POST of the same
-	// campaign must not also see first=true, race our enqueued job to
-	// completion, and mark a member this campaign simulated as cached.
-	s.mu.Lock()
-	first := !c.enrolled[m.Key]
-	c.enrolled[m.Key] = true
-	s.mu.Unlock()
-
-	req := RunRequest{Benchmark: m.Benchmark, Scheme: m.Scheme, Options: m.Options}
-	view, shed, err := s.ensureJob(m.Key, req)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err != nil || shed {
-		// Roll the claim back only while the member truly has no job: a
-		// concurrent POST of the same campaign may have enqueued it between
-		// our claim and our shed, and erasing that enrollment would let a
-		// later re-POST miscount the campaign's own simulation as cached.
-		if first {
-			if _, exists := s.jobs[m.Key]; !exists {
-				delete(c.enrolled, m.Key) // nothing enrolled; the next POST retries
-			}
-		}
-		return shed, err
-	}
-	// view.Cached covers both ways the campaign got this member for free:
-	// attached to an already-done job, or materialized straight from the
-	// store. Recording it here (not just while the job record lives) keeps
-	// the Cached counter truthful after registry eviction.
-	if first && view.Cached {
-		c.cachedAttach[m.Key] = true
-	}
-	return false, nil
-}
+// CampaignView is the wire representation of a campaign.
+type CampaignView = engine.CampaignView
 
 // handleCampaignSubmit implements POST /v1/campaigns.
 func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
@@ -270,31 +65,13 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id := lard.CampaignKeyFor(members)
 
-	s.mu.Lock()
-	if s.closing {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errShuttingDown)
+	if err := s.engine.RegisterCampaign(id, members); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	c, ok := s.campaigns[id]
-	if !ok {
-		c = newCampaign(id, members)
-		s.campaignsSeen++
-		s.campaigns[id] = c
-		s.campOrder = append(s.campOrder, c)
-		for len(s.campOrder) > maxCampaigns {
-			old := s.campOrder[0]
-			s.campOrder = s.campOrder[1:]
-			if cur, ok := s.campaigns[old.id]; ok && cur == old {
-				delete(s.campaigns, old.id)
-			}
-		}
-	}
-	s.mu.Unlock()
-
 	shed := false
 	for _, m := range members {
-		sh, err := s.ensureMember(c, m)
+		sh, err := s.engine.EnsureMember(id, m)
 		if errors.Is(err, errShuttingDown) {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
@@ -312,9 +89,15 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	view, err := s.campaignView(c)
+	view, ok, err := s.engine.Campaign(id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		// Evicted between registration and render: only possible under a
+		// pathological registration storm; the client should resubmit.
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("campaign %q evicted during fan-out, resubmit", id))
 		return
 	}
 	switch {
@@ -331,16 +114,13 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 // handleCampaignGet implements GET /v1/campaigns/{id}.
 func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	c, ok := s.campaigns[id]
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q (resubmit its matrix to rebuild it)", id))
-		return
-	}
-	view, err := s.campaignView(c)
+	view, ok, err := s.engine.Campaign(id)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q (resubmit its matrix to rebuild it)", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -375,66 +155,24 @@ func (s *Server) handleCampaignTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	c, ok := s.campaigns[id]
+	data, ok, err := s.engine.CampaignResults(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	if !ok {
-		s.mu.Unlock()
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
 		return
 	}
-	results := make(map[string]map[string]*lard.Result, len(c.benches))
-	var missing []memberRef // evicted job records; resolved from the store
-	complete := true
-	for _, m := range c.members {
-		j, ok := s.jobs[m.key]
-		if !ok {
-			missing = append(missing, m)
-			continue
-		}
-		if j.status != StatusDone || j.result == nil {
-			complete = false
-			break
-		}
-		if results[m.benchmark] == nil {
-			results[m.benchmark] = make(map[string]*lard.Result, len(c.labels))
-		}
-		results[m.benchmark][m.label] = j.result
-	}
-	s.mu.Unlock()
-	for _, m := range missing {
-		if !complete {
-			break
-		}
-		res, ok, err := lard.StoredByKey(s.store, m.key)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if !ok {
-			complete = false
-			break
-		}
-		if results[m.benchmark] == nil {
-			results[m.benchmark] = make(map[string]*lard.Result, len(c.labels))
-		}
-		results[m.benchmark][m.label] = res
-	}
-	if !complete {
+	if !data.Complete {
 		// Be actionable: failed or pending members never complete through
 		// polling alone — only re-POSTing the matrix re-enqueues them.
-		v, err := s.campaignView(c)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeError(w, http.StatusConflict, fmt.Errorf(
-			"campaign %q is not complete (%d/%d done, %d failed, %d pending); poll GET /v1/campaigns/%s, re-POSTing the matrix to retry failed or pending members",
-			id, v.Counts[StatusDone], v.Total, v.Counts[StatusFailed], v.Counts[StatusPending], id))
+		writeError(w, http.StatusConflict, s.engine.CampaignIncompleteError(id))
 		return
 	}
 
 	baseline := ""
-	for _, l := range c.labels {
+	for _, l := range data.Labels {
 		if l == "S-NUCA" {
 			baseline = l
 			break
@@ -445,7 +183,7 @@ func (s *Server) handleCampaignTable(w http.ResponseWriter, r *http.Request) {
 	} else {
 		title += " (absolute)"
 	}
-	table, avg := harness.RenderNormalizedTable(title, c.benches, c.labels, baseline,
-		func(bench, label string) float64 { return value(results[bench][label]) })
+	table, avg := harness.RenderNormalizedTable(title, data.Benches, data.Labels, baseline,
+		func(bench, label string) float64 { return value(data.Results[bench][label]) })
 	writeJSON(w, http.StatusOK, campaignTableView{ID: id, Metric: metric, Table: table, Averages: avg})
 }

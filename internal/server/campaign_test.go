@@ -215,11 +215,7 @@ func TestCampaignTable(t *testing.T) {
 	// An incomplete campaign refuses to render: block the worker pool so
 	// the new campaign's members cannot finish.
 	release := make(chan struct{})
-	blockingRun := func(st *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options) (*lard.Result, bool, error) {
-		<-release
-		return &lard.Result{Benchmark: benchmark, Scheme: s.Label(), CompletionCycles: 1}, false, nil
-	}
-	_, ts2 := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Run: blockingRun})
+	_, ts2 := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Run: blockingTestRun(nil, release)})
 	defer close(release)
 	_, v2 := postCampaign(t, ts2, smallCampaign("BARNES"))
 	resp, err := http.Get(ts2.URL + "/v1/campaigns/" + v2.ID + "/table")
@@ -237,11 +233,7 @@ func TestCampaignTable(t *testing.T) {
 // same matrix continues the fan-out to completion.
 func TestCampaignBackpressure(t *testing.T) {
 	release := make(chan struct{})
-	blockingRun := func(st *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options) (*lard.Result, bool, error) {
-		<-release
-		return &lard.Result{Benchmark: benchmark, Scheme: s.Label(), CompletionCycles: 1}, false, nil
-	}
-	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Run: blockingRun})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Run: blockingTestRun(nil, release)})
 
 	// 3 benchmarks x 2 schemes = 6 members against capacity 2 (1 worker +
 	// 1 queue slot).
@@ -311,14 +303,9 @@ func TestCampaignShedStillServesCachedMembers(t *testing.T) {
 	// Fresh server over the same store with its worker blocked and its
 	// one-slot queue full of unrelated jobs: no capacity for novel members.
 	release := make(chan struct{})
-	started := make(chan struct{}, 1)
-	blockingRun := func(st *resultstore.Store, benchmark string, sc lard.Scheme, o lard.Options) (*lard.Result, bool, error) {
-		started <- struct{}{}
-		<-release
-		return &lard.Result{Benchmark: benchmark, Scheme: sc.Label(), CompletionCycles: 1}, false, nil
-	}
+	started := make(chan string, 1)
 	st2, _ := resultstore.New(dir)
-	_, ts2 := newTestServer(t, Config{Store: st2, Workers: 1, QueueDepth: 1, Run: blockingRun})
+	_, ts2 := newTestServer(t, Config{Store: st2, Workers: 1, QueueDepth: 1, Run: blockingTestRun(started, release)})
 	defer close(release)
 	post(t, ts2, smallRun(51))
 	<-started
@@ -359,14 +346,12 @@ func TestCampaignSurvivesJobEviction(t *testing.T) {
 		_, rv := post(t, ts, smallRun(seed))
 		poll(t, ts, rv.ID)
 	}
-	s.mu.Lock()
 	evicted := 0
 	for _, m := range done.Members {
-		if _, ok := s.jobs[m.ID]; !ok {
+		if _, ok := s.Engine().Job(m.ID); !ok {
 			evicted++
 		}
 	}
-	s.mu.Unlock()
 	if evicted == 0 {
 		t.Fatal("test setup: no member job was evicted")
 	}

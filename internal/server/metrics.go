@@ -1,9 +1,11 @@
 // GET /metrics: the service's operational counters in the Prometheus text
 // exposition format (version 0.0.4), hand-rendered so the service stays
 // dependency-free. The families cover the run lifecycle (started, completed,
-// failed, cached), the job and campaign-member state gauges, the result
-// store's traffic counters, and the worker pool's depth — everything needed
-// to alert on a wedged pool, a cold store or a failing campaign.
+// failed, cached, cancelled), the job and campaign-member state gauges, the
+// engine's event bus (events emitted/dropped, live subscribers) and
+// dispatcher ledger, the result store's traffic counters, and the worker
+// pool's depth — everything needed to alert on a wedged pool, a cold store,
+// a failing campaign or a stalled event feed.
 package server
 
 import (
@@ -14,49 +16,6 @@ import (
 
 	"lard/internal/store"
 )
-
-// metricsSnapshot is the consistent counter snapshot rendered by /metrics.
-type metricsSnapshot struct {
-	runsStarted, runsCompleted, runsFailed, runsCached uint64
-	jobs                                               map[string]int
-	campaigns                                          int
-	campaignsSeen                                      uint64
-	members                                            map[string]int
-	queueLen, queueCap, workers                        int
-}
-
-// snapshotMetrics gathers every gauge and counter under one hold of the
-// server mutex so a scrape never mixes states from different instants. The
-// campaign-member states come from the job registry alone (no store I/O on
-// the scrape path): members evicted after completion report as pending
-// here, exactly as campaignViewLocked renders them.
-func (s *Server) snapshotMetrics() metricsSnapshot {
-	m := metricsSnapshot{
-		jobs:     map[string]int{StatusQueued: 0, StatusRunning: 0, StatusDone: 0, StatusFailed: 0},
-		members:  map[string]int{StatusPending: 0, StatusQueued: 0, StatusRunning: 0, StatusDone: 0, StatusFailed: 0},
-		queueCap: cap(s.queue),
-		workers:  s.workers,
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m.runsStarted, m.runsCompleted = s.runsStarted, s.runsCompleted
-	m.runsFailed, m.runsCached = s.runsFailed, s.runsCached
-	m.campaigns, m.campaignsSeen = len(s.campaigns), s.campaignsSeen
-	m.queueLen = len(s.queue)
-	for _, j := range s.jobs {
-		m.jobs[j.status]++
-	}
-	for _, c := range s.campaigns {
-		for _, mem := range c.members {
-			status := StatusPending
-			if j, ok := s.jobs[mem.key]; ok {
-				status = j.status
-			}
-			m.members[status]++
-		}
-	}
-	return m
-}
 
 // backendMetricRow is one flattened backend node: its path through the
 // composite tree ("sharded/shard-02", "replicated/peer") and its snapshot.
@@ -138,7 +97,7 @@ func renderBackendMetrics(b *strings.Builder, root store.Stats) {
 
 // handleMetrics implements GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.snapshotMetrics()
+	m := s.engine.MetricsSnapshot()
 	st := s.store.Stats()
 
 	var b strings.Builder
@@ -160,17 +119,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	counter("lard_runs_started_total", "Jobs a worker began simulating.", m.runsStarted)
-	counter("lard_runs_completed_total", "Worker simulations that finished successfully.", m.runsCompleted)
-	counter("lard_runs_failed_total", "Jobs that finished in failure (including shutdown drains).", m.runsFailed)
-	counter("lard_runs_cached_total", "Jobs answered from the result store without a worker.", m.runsCached)
-	labeled("lard_jobs", "Jobs in the registry by status.", "status", m.jobs)
-	counter("lard_campaigns_registered_total", "Campaigns registered (resubmissions attach, they do not count).", m.campaignsSeen)
-	gauge("lard_campaigns", "Campaigns currently in the registry.", m.campaigns)
-	labeled("lard_campaign_members", "Members of registered campaigns by job status (evicted-after-done members report pending).", "status", m.members)
-	gauge("lard_workers", "Simulation worker-pool size.", m.workers)
-	gauge("lard_queue_len", "Jobs waiting in the bounded queue.", m.queueLen)
-	gauge("lard_queue_cap", "Capacity of the bounded queue (full submissions shed with 429).", m.queueCap)
+	counter("lard_runs_started_total", "Jobs a worker began simulating.", m.RunsStarted)
+	counter("lard_runs_completed_total", "Worker simulations that finished successfully.", m.RunsCompleted)
+	counter("lard_runs_failed_total", "Jobs that finished in failure (including shutdown drains).", m.RunsFailed)
+	counter("lard_runs_cached_total", "Jobs answered from the result store without a worker.", m.RunsCached)
+	counter("lard_runs_cancelled_total", "Jobs cancelled before or during simulation (DELETE /v1/runs/{id}).", m.RunsCancelled)
+	labeled("lard_jobs", "Jobs in the registry by status.", "status", m.Jobs)
+	counter("lard_campaigns_registered_total", "Campaigns registered (resubmissions attach, they do not count).", m.CampaignsSeen)
+	gauge("lard_campaigns", "Campaigns currently in the registry.", m.Campaigns)
+	labeled("lard_campaign_members", "Members of registered campaigns by job status (evicted-after-done members report pending).", "status", m.Members)
+	gauge("lard_workers", "Simulation worker-pool size.", m.Workers)
+	gauge("lard_busy_workers", "Workers currently simulating.", m.Busy)
+	gauge("lard_queue_len", "Jobs waiting in the bounded queue.", m.QueueLen)
+	gauge("lard_queue_cap", "Capacity of the bounded queue (full submissions shed with 429).", m.QueueCap)
+	counter("lard_engine_events_total", "Events published on the engine's event bus.", m.Events.Published)
+	counter("lard_engine_events_dropped_total", "Events dropped at full per-subscriber queues (slow consumers).", m.Events.Dropped)
+	gauge("lard_engine_subscribers", "Live event-stream subscriptions.", m.Events.Subscribers)
+	gauge("lard_engine_topics", "Event topics holding replayable history.", m.Events.Topics)
+	{
+		name := "lard_engine_dispatch_total"
+		fmt.Fprintf(&b, "# HELP %s Jobs admitted to the queue by placement class (dispatcher %q).\n# TYPE %s counter\n", name, m.Dispatcher, name)
+		classes := make([]string, 0, len(m.Dispatch))
+		for c := range m.Dispatch {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Fprintf(&b, "%s{class=%q} %d\n", name, c, m.Dispatch[c])
+		}
+	}
 	counter("lard_store_mem_hits_total", "Store lookups served from the in-memory layer.", st.MemHits)
 	counter("lard_store_disk_hits_total", "Store lookups served from the disk backend.", st.DiskHits)
 	counter("lard_store_misses_total", "Store lookups that found nothing and went on to compute.", st.Misses)

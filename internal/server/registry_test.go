@@ -226,12 +226,7 @@ func TestShutdownFinishesInFlightCampaignMembers(t *testing.T) {
 	}
 	started := make(chan string, 8)
 	release := make(chan struct{})
-	slow := func(st *resultstore.Store, bench string, sch lard.Scheme, o lard.Options) (*lard.Result, bool, error) {
-		started <- sch.Label()
-		<-release
-		return &lard.Result{Benchmark: bench, Scheme: sch.Label(), CompletionCycles: 1}, false, nil
-	}
-	s, err := New(Config{Store: st, Workers: 1, QueueDepth: 8, Run: slow})
+	s, err := New(Config{Store: st, Workers: 1, QueueDepth: 8, Run: blockingTestRun(started, release)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,9 +264,9 @@ func TestShutdownFinishesInFlightCampaignMembers(t *testing.T) {
 		t.Fatalf("graceful shutdown: %v", err)
 	}
 
-	view, err := s.campaignView(s.campaigns[v.ID])
-	if err != nil {
-		t.Fatal(err)
+	view, ok, err := s.Engine().Campaign(v.ID)
+	if err != nil || !ok {
+		t.Fatalf("campaign view: ok=%v err=%v", ok, err)
 	}
 	if view.Counts[StatusDone] != 1 {
 		t.Fatalf("in-flight member should finish, got %+v", view)

@@ -1,41 +1,54 @@
-// Package server exposes the LLC simulator as an HTTP JSON service: an
-// asynchronous job API over a content-addressed result store.
+// Package server exposes the LLC simulator as an HTTP JSON service: thin
+// handlers over the event-sourced execution engine (internal/engine) and
+// the content-addressed result store.
 //
 // Endpoints:
 //
-//	POST /v1/runs                  submit a run; 200 + result on a store
-//	                               hit, 202 + job on a miss, 429 when the
-//	                               queue is full
-//	GET  /v1/runs/{id}             poll a job (the id is the run's content
-//	                               address; evicted ids fall back to the
-//	                               store)
-//	POST /v1/campaigns             submit a benchmark x scheme matrix as
-//	                               one campaign (see campaign.go)
-//	GET  /v1/campaigns/{id}        campaign progress + per-member status
-//	GET  /v1/campaigns/{id}/table  render a completed campaign as a
-//	                               figure-style table
-//	GET  /v1/results               index of every stored run spec
-//	                               (?limit=&offset= pages; ?keys=1 lists
-//	                               raw keys only)
-//	GET  /v1/results/{key}         one raw encoded entry (the peer-
-//	                               replication fetch path)
-//	PUT  /v1/results/{key}         store a raw encoded entry (validated
-//	                               against its own content address)
-//	DELETE /v1/results/{key}       drop an entry from every layer
-//	GET  /v1/benchmarks            list the benchmark names
-//	GET  /v1/schemes               registered replication policies with
-//	                               their tunables and figure columns
-//	GET  /healthz                  liveness probe
-//	GET  /stats                    store, queue and job counters
-//	GET  /metrics                  the same counters in the Prometheus
-//	                               text exposition format
+//	POST /v1/runs                    submit a run; 200 + result on a store
+//	                                 hit, 202 + job on a miss, 429 when the
+//	                                 queue is full
+//	GET  /v1/runs/{id}               poll a job (the id is the run's content
+//	                                 address; evicted ids fall back to the
+//	                                 store)
+//	DELETE /v1/runs/{id}             cancel a queued or in-flight run (the
+//	                                 context interrupt reaches the simulator
+//	                                 core); 409 once terminal
+//	GET  /v1/runs/{id}/events        live event stream (SSE): replayed
+//	                                 history, then live lifecycle + progress
+//	                                 events, heartbeats between
+//	POST /v1/campaigns               submit a benchmark x scheme matrix as
+//	                                 one campaign (see campaign.go)
+//	GET  /v1/campaigns/{id}          campaign progress + per-member status
+//	GET  /v1/campaigns/{id}/events   campaign event stream (SSE), member
+//	                                 events fanned in, closing on the
+//	                                 campaign-terminal event
+//	GET  /v1/campaigns/{id}/table    render a completed campaign as a
+//	                                 figure-style table
+//	GET  /v1/results                 index of every stored run spec
+//	                                 (?limit=&offset= pages; ?keys=1 lists
+//	                                 raw keys only, same paging)
+//	GET  /v1/results/{key}           one raw encoded entry (the peer-
+//	                                 replication fetch path)
+//	PUT  /v1/results/{key}           store a raw encoded entry (validated
+//	                                 against its own content address)
+//	DELETE /v1/results/{key}         drop an entry from every layer
+//	GET  /v1/benchmarks              list the benchmark names
+//	GET  /v1/schemes                 registered replication policies with
+//	                                 their tunables and figure columns
+//	GET  /healthz                    liveness probe
+//	GET  /stats                      engine, store and queue counters
+//	GET  /metrics                    the same counters in the Prometheus
+//	                                 text exposition format
 //
 // Jobs are content-addressed: a run's job id IS its canonical store key,
 // so resubmitting an identical request while it is queued or running
 // attaches to the existing job instead of enqueueing a duplicate, and
-// resubmitting after completion is served straight from the store. A
-// bounded worker pool executes jobs; when its queue is full the server
-// sheds load with 429 rather than buffering unboundedly.
+// resubmitting after completion is served straight from the store. The
+// engine's bounded worker pool executes jobs; when its queue is full the
+// server sheds load with 429 rather than buffering unboundedly. The
+// lifecycle machinery itself — job registry, worker pool, dispatcher,
+// event bus — lives entirely in internal/engine; this package only
+// translates HTTP.
 package server
 
 import (
@@ -45,18 +58,40 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"runtime"
 	"strconv"
-	"sync"
+	"time"
 
 	"lard"
+	"lard/internal/engine"
 	"lard/internal/resultstore"
 	"lard/internal/store"
 )
 
+// Job states, re-exported from the engine for wire compatibility.
+const (
+	StatusPending   = engine.StatusPending
+	StatusQueued    = engine.StatusQueued
+	StatusRunning   = engine.StatusRunning
+	StatusDone      = engine.StatusDone
+	StatusFailed    = engine.StatusFailed
+	StatusCancelled = engine.StatusCancelled
+)
+
 // RunFunc executes one simulation through a store. It is a seam for tests;
-// production servers use lard.RunWithStore.
-type RunFunc func(st *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options) (*lard.Result, bool, error)
+// production servers use the engine default (lard.RunWithStoreProgress).
+type RunFunc = engine.RunFunc
+
+// RunRequest is the POST /v1/runs body.
+type RunRequest = engine.Request
+
+// JobView is the wire representation of a job.
+type JobView = engine.JobView
+
+// Event is one SSE payload line.
+type Event = engine.Event
+
+// errShuttingDown is the engine's shutdown refusal, aliased for tests.
+var errShuttingDown = engine.ErrShuttingDown
 
 // Config configures a Server.
 type Config struct {
@@ -69,92 +104,26 @@ type Config struct {
 	QueueDepth int
 	// Run overrides the simulation function (tests only).
 	Run RunFunc
-	// MaxCompletedJobs bounds the registry of finished jobs (default
-	// maxCompletedJobs). Results live on in the store — an evicted id
-	// answers 404 on GET, but resubmitting the same request body is served
-	// from the store — so the registry only needs to cover polling windows.
+	// MaxCompletedJobs bounds the registry of finished jobs. Results live
+	// on in the store — an evicted id answers 404 on GET, but resubmitting
+	// the same request body is served from the store — so the registry
+	// only needs to cover polling windows.
 	MaxCompletedJobs int
+	// Dispatcher overrides the engine's placement policy (default:
+	// locality-aware over Store).
+	Dispatcher engine.Dispatcher
+	// SSEHeartbeat is the keep-alive comment interval on event streams
+	// (default 15s; tests shorten it).
+	SSEHeartbeat time.Duration
 }
-
-// Job states.
-const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
-)
-
-// RunRequest is the POST /v1/runs body.
-type RunRequest struct {
-	Benchmark string       `json:"benchmark"`
-	Scheme    lard.Scheme  `json:"scheme"`
-	Options   lard.Options `json:"options"`
-}
-
-// validateScheme rejects decoded scheme shapes whose silent acceptance
-// would simulate something other than what the client asked for: unknown
-// kinds and invalid policy parameters (an RT run without a threshold, an
-// ASR run at an unlabeled probability). The check is the registry's own
-// (lard.ValidateScheme), so a scheme registered in the facade is accepted
-// here with no server edit — and one rejected there can never slip in
-// through the service.
-func validateScheme(s lard.Scheme) error {
-	return lard.ValidateScheme(s)
-}
-
-// JobView is the wire representation of a job.
-type JobView struct {
-	ID        string `json:"id"`
-	Benchmark string `json:"benchmark"`
-	Scheme    string `json:"scheme"`
-	Status    string `json:"status"`
-	// Cached reports whether the result was served from the store rather
-	// than simulated for this job.
-	Cached bool         `json:"cached"`
-	Result *lard.Result `json:"result,omitempty"`
-	Error  string       `json:"error,omitempty"`
-}
-
-// job is the internal job record; its mutable fields are guarded by the
-// server mutex.
-type job struct {
-	id     string
-	req    RunRequest
-	status string
-	cached bool
-	result *lard.Result
-	err    string
-}
-
-// maxCompletedJobs is the default bound on the finished-job registry.
-const maxCompletedJobs = 4096
 
 // Server is the run service. Create with New, start the worker pool with
 // Start, serve Handler over HTTP, and stop with Shutdown.
 type Server struct {
-	store   *resultstore.Store
-	run     RunFunc
-	workers int
-	maxDone int
-	mux     *http.ServeMux
-
-	queue chan *job
-	stop  chan struct{}
-	wg    sync.WaitGroup
-
-	mu        sync.Mutex
-	jobs      map[string]*job
-	done      []*job // completed jobs, oldest first, for eviction
-	campaigns map[string]*campaign
-	campOrder []*campaign // registration order, for eviction
-	closing   bool
-
-	// Monotonic service counters, guarded by mu (see GET /metrics).
-	runsStarted   uint64 // jobs a worker began simulating
-	runsCompleted uint64 // worker simulations that finished successfully
-	runsFailed    uint64 // jobs that finished in failure (incl. shutdown)
-	runsCached    uint64 // jobs materialized from the store without a worker
-	campaignsSeen uint64 // campaign registrations (not resubmission attaches)
+	store     *resultstore.Store
+	engine    *engine.Engine
+	mux       *http.ServeMux
+	heartbeat time.Duration
 }
 
 // New builds a Server from cfg.
@@ -162,37 +131,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("server: Config.Store is required")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	eng, err := engine.New(engine.Config{
+		Store:            cfg.Store,
+		Workers:          cfg.Workers,
+		QueueDepth:       cfg.QueueDepth,
+		Run:              cfg.Run,
+		MaxCompletedJobs: cfg.MaxCompletedJobs,
+		Dispatcher:       cfg.Dispatcher,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
-	depth := cfg.QueueDepth
-	if depth <= 0 {
-		depth = 2 * workers
+	hb := cfg.SSEHeartbeat
+	if hb <= 0 {
+		hb = 15 * time.Second
 	}
-	run := cfg.Run
-	if run == nil {
-		run = lard.RunWithStore
-	}
-	maxDone := cfg.MaxCompletedJobs
-	if maxDone <= 0 {
-		maxDone = maxCompletedJobs
-	}
-	s := &Server{
-		store:     cfg.Store,
-		run:       run,
-		workers:   workers,
-		maxDone:   maxDone,
-		queue:     make(chan *job, depth),
-		stop:      make(chan struct{}),
-		jobs:      make(map[string]*job),
-		campaigns: make(map[string]*campaign),
-	}
+	s := &Server{store: cfg.Store, engine: eng, heartbeat: hb}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/table", s.handleCampaignTable)
 	s.mux.HandleFunc("GET /v1/results", s.handleResults)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultGet)
@@ -206,128 +168,29 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the worker pool.
-func (s *Server) Start() {
-	for i := 0; i < s.workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
-	}
-}
+// Start launches the engine's worker pool.
+func (s *Server) Start() { s.engine.Start() }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Engine exposes the underlying execution engine (stats, subscriptions).
+func (s *Server) Engine() *engine.Engine { return s.engine }
+
 // Shutdown stops the service gracefully: new submissions are refused,
 // workers finish their in-flight simulations, and still-queued jobs are
 // failed. It returns ctx.Err() if the workers outlive the context.
-func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	already := s.closing
-	s.closing = true
-	s.mu.Unlock()
-	if !already {
-		close(s.stop)
-	}
+func (s *Server) Shutdown(ctx context.Context) error { return s.engine.Shutdown(ctx) }
 
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-
-	// Workers are gone; fail whatever never got picked up.
-	for {
-		select {
-		case j := <-s.queue:
-			s.finish(j, nil, false, errors.New("server shutting down"))
-		default:
-			return nil
-		}
-	}
-}
-
-// worker executes queued jobs until Shutdown. Go selects ready channels at
-// random, so a job dequeued concurrently with the stop signal is re-checked
-// against it before running: once Shutdown begins no new simulation starts,
-// and still-queued jobs fail deterministically instead of racing the drain.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case j := <-s.queue:
-			select {
-			case <-s.stop:
-				s.finish(j, nil, false, errors.New("server shutting down"))
-				return
-			default:
-			}
-			s.mu.Lock()
-			j.status = StatusRunning
-			s.runsStarted++
-			s.mu.Unlock()
-			res, cached, err := s.run(s.store, j.req.Benchmark, j.req.Scheme, j.req.Options)
-			s.finish(j, res, cached, err)
-		}
-	}
-}
-
-// finish records a job outcome.
-func (s *Server) finish(j *job, res *lard.Result, cached bool, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err != nil {
-		j.status, j.err = StatusFailed, err.Error()
-		s.runsFailed++
-	} else {
-		j.status, j.cached, j.result = StatusDone, cached, res
-		s.runsCompleted++
-	}
-	s.completedLocked(j)
-}
-
-// completedLocked enrolls a finished job for eviction and trims the
-// registry to maxCompletedJobs so a long-lived server's memory stays
-// bounded. Callers hold s.mu.
-func (s *Server) completedLocked(j *job) {
-	s.done = append(s.done, j)
-	for len(s.done) > s.maxDone {
-		old := s.done[0]
-		s.done = s.done[1:]
-		// The id may since have been re-enqueued (failed retry) or taken by
-		// a newer job; only evict the record this enrollment refers to, and
-		// only while it is still terminal.
-		if cur, ok := s.jobs[old.id]; ok && cur == old &&
-			(old.status == StatusDone || old.status == StatusFailed) {
-			delete(s.jobs, old.id)
-		}
-	}
-}
-
-// view renders a job, taking the server mutex.
-func (s *Server) view(j *job) JobView {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return viewOf(j)
-}
-
-// viewOf renders a job; the caller must hold s.mu (or otherwise own j).
-func viewOf(j *job) JobView {
-	return JobView{
-		ID:        j.id,
-		Benchmark: j.req.Benchmark,
-		Scheme:    j.req.Scheme.Label(),
-		Status:    j.status,
-		Cached:    j.cached,
-		Result:    j.result,
-		Error:     j.err,
-	}
+// validateScheme rejects decoded scheme shapes whose silent acceptance
+// would simulate something other than what the client asked for: unknown
+// kinds and invalid policy parameters (an RT run without a threshold, an
+// ASR run at an unlabeled probability). The check is the registry's own
+// (lard.ValidateScheme), so a scheme registered in the facade is accepted
+// here with no server edit — and one rejected there can never slip in
+// through the service.
+func validateScheme(sch lard.Scheme) error {
+	return lard.ValidateScheme(sch)
 }
 
 // handleSubmit implements POST /v1/runs.
@@ -349,7 +212,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	view, shed, err := s.ensureJob(key, req)
+	view, shed, err := s.engine.Submit(key, req)
 	switch {
 	case errors.Is(err, errShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -364,94 +227,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ensureJob guarantees the run with content address key is progressing,
-// whether submitted directly or fanned out by a campaign: an existing job
-// is attached to (failed ones re-enqueued for retry), a previously stored
-// result materializes a completed job without touching the queue, and a
-// novel run is enqueued. It returns a snapshot view of the job (Cached set
-// when this caller got it without simulating), shed=true when the queue is
-// full (nothing enrolled), or an error (shutdown, or a store fault).
-func (s *Server) ensureJob(key string, req RunRequest) (view JobView, shed bool, err error) {
-	s.mu.Lock()
-	if s.closing {
-		s.mu.Unlock()
-		return JobView{}, false, errShuttingDown
-	}
-	if j, ok := s.jobs[key]; ok {
-		defer s.mu.Unlock()
-		return s.attachLocked(j)
-	}
-	s.mu.Unlock()
-
-	// Off the lock: a previously computed run answers from the store,
-	// synchronously and without simulating.
-	res, hit, err := lard.LookupStored(s.store, req.Benchmark, req.Scheme, req.Options)
-	if err != nil {
-		return JobView{}, false, err
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Re-check closing: Shutdown may have drained the queue while we were
-	// off the lock doing the store lookup — enqueueing now would strand the
-	// job in "queued" forever.
-	if s.closing {
-		return JobView{}, false, errShuttingDown
-	}
-	if j, raced := s.jobs[key]; raced {
-		return s.attachLocked(j)
-	}
-	j := &job{id: key, req: req, status: StatusQueued}
-	if hit {
-		j.status, j.cached, j.result = StatusDone, true, res
-		s.runsCached++
-		s.jobs[key] = j
-		s.completedLocked(j)
-		return viewOf(j), false, nil
-	}
-	select {
-	case s.queue <- j:
-		s.jobs[key] = j
-		return viewOf(j), false, nil
-	default:
-		return JobView{}, true, nil
-	}
-}
-
-// attachLocked resolves an ensureJob call against an existing job record:
-// completed jobs are cache hits (whatever their own history, *this* request
-// is served without simulating), failed ones re-enqueue for retry, pending
-// ones are simply attached to. Callers hold s.mu.
-func (s *Server) attachLocked(j *job) (JobView, bool, error) {
-	switch j.status {
-	case StatusDone:
-		view := viewOf(j)
-		view.Cached = true
-		return view, false, nil
-	case StatusFailed:
-		select {
-		case s.queue <- j:
-			j.status, j.err = StatusQueued, ""
-			return viewOf(j), false, nil
-		default:
-			return JobView{}, true, nil
-		}
-	default:
-		return viewOf(j), false, nil
-	}
-}
-
 // handleGet implements GET /v1/runs/{id}. An id missing from the job
 // registry — typically evicted after completion — falls back to a store
 // lookup by content address: the registry only covers polling windows, but
 // a computed result is never forgotten while the store holds it.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	j, ok := s.jobs[id]
-	s.mu.Unlock()
-	if ok {
-		writeJSON(w, http.StatusOK, s.view(j))
+	if v, ok := s.engine.Job(id); ok {
+		writeJSON(w, http.StatusOK, v)
 		return
 	}
 	res, found, err := lard.StoredByKey(s.store, id)
@@ -468,9 +251,30 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		Benchmark: res.Benchmark,
 		Scheme:    res.Scheme,
 		Status:    StatusDone,
+		Progress:  1,
 		Cached:    true,
 		Result:    res,
 	})
+}
+
+// handleCancel implements DELETE /v1/runs/{id}: cancel a queued or
+// in-flight run. A queued run reports cancelled immediately; a running one
+// has its simulation interrupted and reports its terminal state through
+// the usual channels (poll or SSE). Terminal jobs answer 409 — a completed
+// result is store state, deleted via DELETE /v1/results/{key}, not by
+// cancelling history.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.engine.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, engine.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run %q", r.PathValue("id")))
+	case errors.Is(err, engine.ErrTerminal):
+		writeJSON(w, http.StatusConflict, view)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, view)
+	}
 }
 
 // handleResults implements GET /v1/results: the index of stored run
@@ -478,18 +282,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // store never renders in one response; spec metadata comes from the
 // store's in-memory index when resident, so a page costs at most `limit`
 // backend reads. ?keys=1 lists raw keys only, decoding nothing — the
-// listing a Remote peer backend uses.
+// listing a Remote peer backend uses — under the same paging and
+// validation.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	if q.Get("keys") != "" {
-		keys, err := s.store.Keys()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "keys": keys})
-		return
-	}
 	limit, err := queryInt(q.Get("limit"), 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -498,6 +294,28 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	offset, err := queryInt(q.Get("offset"), 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.Get("keys") != "" {
+		keys, err := s.store.Keys()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		total := len(keys)
+		if offset > total {
+			offset = total
+		}
+		end := total
+		if limit > 0 && offset+limit < total {
+			end = offset + limit
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":  total,
+			"offset": offset,
+			"limit":  limit,
+			"keys":   keys[offset:end],
+		})
 		return
 	}
 	idx, total, err := s.store.IndexPage(offset, limit)
@@ -604,8 +422,10 @@ type statsView struct {
 	Workers      int               `json:"workers"`
 	QueueLen     int               `json:"queue_len"`
 	QueueCap     int               `json:"queue_cap"`
+	Busy         int               `json:"busy"`
 	Jobs         map[string]int    `json:"jobs"`
 	Campaigns    int               `json:"campaigns"`
+	Engine       engineStatsView   `json:"engine"`
 	Store        resultstore.Stats `json:"store"`
 	StoreEntries int               `json:"store_entries"`
 	StoreDir     string            `json:"store_dir,omitempty"`
@@ -614,21 +434,31 @@ type statsView struct {
 	Backend *store.Stats `json:"backend,omitempty"`
 }
 
+// engineStatsView is the engine subtree of /stats: the event bus and the
+// dispatcher's placement ledger.
+type engineStatsView struct {
+	Dispatcher    string            `json:"dispatcher"`
+	Dispatch      map[string]uint64 `json:"dispatch"`
+	Cancellations uint64            `json:"cancellations"`
+	Events        engine.EventStats `json:"events"`
+}
+
 // handleStats implements GET /stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	counts := map[string]int{StatusQueued: 0, StatusRunning: 0, StatusDone: 0, StatusFailed: 0}
-	s.mu.Lock()
-	for _, j := range s.jobs {
-		counts[j.status]++
-	}
-	nCampaigns := len(s.campaigns)
-	s.mu.Unlock()
+	es := s.engine.Stats()
 	view := statsView{
-		Workers:      s.workers,
-		QueueLen:     len(s.queue),
-		QueueCap:     cap(s.queue),
-		Jobs:         counts,
-		Campaigns:    nCampaigns,
+		Workers:   es.Workers,
+		QueueLen:  es.QueueLen,
+		QueueCap:  es.QueueCap,
+		Busy:      es.Busy,
+		Jobs:      es.Jobs,
+		Campaigns: es.Campaigns,
+		Engine: engineStatsView{
+			Dispatcher:    es.Dispatcher,
+			Dispatch:      es.Dispatch,
+			Cancellations: es.Cancellations,
+			Events:        es.Events,
+		},
 		Store:        s.store.Stats(),
 		StoreEntries: s.store.Len(),
 		StoreDir:     s.store.Dir(),

@@ -160,15 +160,37 @@ func TestCacheHitAcrossRestart(t *testing.T) {
 	}
 }
 
+// blockingTestRun is a RunFunc that parks until release fires (or the run
+// is cancelled), optionally announcing each start on started.
+func blockingTestRun(started chan<- string, release <-chan struct{}) RunFunc {
+	return func(ctx context.Context, st *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options, p lard.ProgressFunc) (*lard.Result, bool, error) {
+		if started != nil {
+			started <- s.Label()
+		}
+		select {
+		case <-release:
+			return &lard.Result{Benchmark: benchmark, Scheme: s.Label(), CompletionCycles: 1}, false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// mustJobView fetches a job snapshot from the engine.
+func mustJobView(t *testing.T, s *Server, id string) JobView {
+	t.Helper()
+	v, ok := s.Engine().Job(id)
+	if !ok {
+		t.Fatalf("job %s missing", id)
+	}
+	return v
+}
+
 // TestQueueBackpressure fills the worker and the queue with blocked jobs
 // and requires the next submission to shed with 429.
 func TestQueueBackpressure(t *testing.T) {
 	release := make(chan struct{})
-	blockingRun := func(st *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options) (*lard.Result, bool, error) {
-		<-release
-		return &lard.Result{Benchmark: benchmark, Scheme: s.Label(), CompletionCycles: 1}, false, nil
-	}
-	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Run: blockingRun})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Run: blockingTestRun(nil, release)})
 	defer close(release)
 
 	// Job 1 occupies the worker, job 2 the queue slot; distinct seeds keep
@@ -177,7 +199,7 @@ func TestQueueBackpressure(t *testing.T) {
 	// Wait until the worker picked job 1 up, freeing the queue slot order.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if v := s.view(s.mustJob(t, v1.ID)); v.Status == StatusRunning {
+		if v := mustJobView(t, s, v1.ID); v.Status == StatusRunning {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -194,29 +216,12 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 }
 
-// mustJob fetches a job record directly.
-func (s *Server) mustJob(t *testing.T, id string) *job {
-	t.Helper()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		t.Fatalf("job %s missing", id)
-	}
-	return j
-}
-
 // TestDuplicateSubmitSharesJob submits the same run twice while it is in
 // flight and requires one job, not two.
 func TestDuplicateSubmitSharesJob(t *testing.T) {
 	release := make(chan struct{})
-	started := make(chan struct{}, 8)
-	blockingRun := func(st *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options) (*lard.Result, bool, error) {
-		started <- struct{}{}
-		<-release
-		return &lard.Result{Benchmark: benchmark, CompletionCycles: 1}, false, nil
-	}
-	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4, Run: blockingRun})
+	started := make(chan string, 8)
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4, Run: blockingTestRun(started, release)})
 
 	_, v1 := post(t, ts, smallRun(1))
 	<-started
@@ -310,13 +315,8 @@ func TestAuxEndpoints(t *testing.T) {
 func TestShutdownFailsQueuedJobs(t *testing.T) {
 	st, _ := resultstore.New("")
 	release := make(chan struct{})
-	started := make(chan struct{}, 1)
-	blockingRun := func(_ *resultstore.Store, benchmark string, s lard.Scheme, o lard.Options) (*lard.Result, bool, error) {
-		started <- struct{}{}
-		<-release
-		return &lard.Result{Benchmark: benchmark, CompletionCycles: 1}, false, nil
-	}
-	srv, err := New(Config{Store: st, Workers: 1, QueueDepth: 2, Run: blockingRun})
+	started := make(chan string, 1)
+	srv, err := New(Config{Store: st, Workers: 1, QueueDepth: 2, Run: blockingTestRun(started, release)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,16 +334,16 @@ func TestShutdownFailsQueuedJobs(t *testing.T) {
 		defer cancel()
 		shutdownErr <- srv.Shutdown(ctx)
 	}()
-	<-srv.stop     // wait until Shutdown has signalled the workers
-	close(release) // then let the in-flight job finish
+	<-srv.Engine().Stopping() // wait until Shutdown has signalled the workers
+	close(release)            // then let the in-flight job finish
 	if err := <-shutdownErr; err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 
-	if v := srv.view(srv.mustJob(t, v1.ID)); v.Status != StatusDone {
+	if v := mustJobView(t, srv, v1.ID); v.Status != StatusDone {
 		t.Errorf("in-flight job = %q, want done", v.Status)
 	}
-	if v := srv.view(srv.mustJob(t, v2.ID)); v.Status != StatusFailed {
+	if v := mustJobView(t, srv, v2.ID); v.Status != StatusFailed {
 		t.Errorf("queued job = %q, want failed", v.Status)
 	}
 
@@ -373,10 +373,11 @@ func TestCompletedJobEviction(t *testing.T) {
 		poll(t, ts, v.ID)
 	}
 
-	s.mu.Lock()
-	n := len(s.jobs)
-	_, stillThere := s.jobs[v1.ID]
-	s.mu.Unlock()
+	n := 0
+	for _, c := range s.Engine().Stats().Jobs {
+		n += c
+	}
+	_, stillThere := s.Engine().Job(v1.ID)
 	if n > 2 {
 		t.Fatalf("registry holds %d jobs, want <= 2", n)
 	}
@@ -459,7 +460,7 @@ func TestConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.workers < 1 || cap(s.queue) != 2*s.workers {
-		t.Fatalf("defaults: workers %d queue %d", s.workers, cap(s.queue))
+	if w, q := s.Engine().Workers(), s.Engine().QueueCap(); w < 1 || q != 2*w {
+		t.Fatalf("defaults: workers %d queue %d", w, q)
 	}
 }

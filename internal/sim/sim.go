@@ -18,6 +18,11 @@ import (
 )
 
 // Options configure one simulation run.
+//
+// The Progress/ProgressEvery/Interrupt fields are execution plumbing, not
+// run identity: they are excluded from JSON encoding (and therefore from
+// every resultstore content address — two runs that differ only in their
+// observers are the same run) and must never change the simulated outcome.
 type Options struct {
 	// Scheme is the LLC management scheme.
 	Scheme coherence.Scheme
@@ -31,7 +36,27 @@ type Options struct {
 	CheckInvariants bool
 	// TrackRuns enables the Figure-1 run-length tracker.
 	TrackRuns bool
+	// Progress, when non-nil, is invoked every ProgressEvery executed
+	// memory operations with (operations retired, total operations), and
+	// once more at completion with done == total. A nil Progress costs
+	// nothing on the hot path.
+	Progress func(done, total uint64) `json:"-"`
+	// ProgressEvery is the Progress/Interrupt check cadence in executed
+	// operations (0 = DefaultProgressEvery). Only consulted when Progress
+	// or Interrupt is set.
+	ProgressEvery uint64 `json:"-"`
+	// Interrupt, when non-nil, aborts the run early: it is polled at the
+	// ProgressEvery cadence and, once it is closed (or delivers), Run
+	// returns nil instead of a Result. Wire a context's Done channel here
+	// to make a simulation cancellable.
+	Interrupt <-chan struct{} `json:"-"`
 }
+
+// DefaultProgressEvery is the default Progress/Interrupt polling cadence,
+// in executed memory operations: frequent enough that even scaled-down
+// test runs report intermediate fractions, rare enough to stay invisible
+// next to the per-operation simulation cost.
+const DefaultProgressEvery = 4096
 
 // Result is the outcome of one (benchmark, scheme) run.
 type Result struct {
@@ -101,7 +126,9 @@ func (h *eventHeap) Pop() any                        { old := *h; n := len(old);
 func (h *eventHeap) push(t mem.Cycles, c mem.CoreID) { heap.Push(h, event{t, c}) }
 
 // Run simulates profile p on configuration cfg and returns the aggregated
-// result. Runs are deterministic for fixed inputs.
+// result. Runs are deterministic for fixed inputs. When opt.Interrupt
+// fires mid-run, Run stops at the next cadence check and returns nil — the
+// only condition under which it does.
 func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 	if opt.OpsScale == 0 {
 		opt.OpsScale = 1
@@ -130,6 +157,20 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 	)
 	for c := 0; c < n; c++ {
 		h.push(0, mem.CoreID(c))
+	}
+
+	// Progress/interrupt cadence: checkEvery stays 0 when neither observer
+	// is wired, so the steady-state cost of this feature is one integer
+	// compare per operation.
+	var checkEvery, targetOps uint64
+	if opt.Progress != nil || opt.Interrupt != nil {
+		checkEvery = opt.ProgressEvery
+		if checkEvery == 0 {
+			checkEvery = DefaultProgressEvery
+		}
+		for c := 0; c < n; c++ {
+			targetOps += uint64(w.Streams[c].Remaining())
+		}
 	}
 
 	for h.Len() > 0 {
@@ -166,6 +207,18 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 		breakdown[c].Add(res.Breakdown)
 		miss[c][res.Miss]++
 		totalOps++
+		if checkEvery != 0 && totalOps%checkEvery == 0 {
+			if opt.Interrupt != nil {
+				select {
+				case <-opt.Interrupt:
+					return nil
+				default:
+				}
+			}
+			if opt.Progress != nil {
+				opt.Progress(totalOps, targetOps)
+			}
+		}
 		h.push(res.Done, c)
 	}
 
@@ -188,6 +241,9 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 	}
 	if opt.TrackRuns {
 		r.Runs = eng.RunHistogram()
+	}
+	if opt.Progress != nil {
+		opt.Progress(totalOps, targetOps)
 	}
 	return r
 }

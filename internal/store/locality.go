@@ -1,0 +1,116 @@
+package store
+
+import (
+	"os"
+	"time"
+)
+
+// Location describes where a key's bytes currently live relative to this
+// process, as far as a backend can tell without touching the network or
+// decoding anything. It is the placement signal the execution engine's
+// locality-aware dispatcher consumes: work on a key that is already held
+// nearby is cheaper than work that must cross to an owner.
+type Location struct {
+	// Held reports that a local (same-process or same-disk) backend holds
+	// the key right now.
+	Held bool
+	// Replica reports that the holding backend is the replica side of a
+	// locality-aware replicated tier (the hottest class: the key earned
+	// its way next to this reader).
+	Replica bool
+	// Shard is the owning shard index of a sharded composite, -1 when the
+	// backend does not shard. Dispatchers use it to keep keys of one shard
+	// on one worker lane.
+	Shard int
+}
+
+// Locator is an optional Backend refinement: a cheap, side-effect-free
+// placement probe. Unlike Get, Locate must not count traffic, touch LRU
+// recency, bump reuse counters, or cross the network — probing placement
+// must never change placement.
+type Locator interface {
+	Locate(key string) Location
+}
+
+// Locate implements Locator: one file stat, no counters.
+func (d *Disk) Locate(key string) Location {
+	if !ValidKey(key) {
+		return Location{Shard: -1}
+	}
+	_, err := os.Stat(d.Path(key))
+	return Location{Held: err == nil, Shard: -1}
+}
+
+// Locate implements Locator: a map probe that leaves LRU order alone.
+func (m *Memory) Locate(key string) Location {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[key]
+	return Location{Held: ok, Shard: -1}
+}
+
+// Locate implements Locator: the owning shard's location, stamped with the
+// shard index so dispatchers can build per-shard affinity.
+func (s *Sharded) Locate(key string) Location {
+	shard := s.ShardFor(key)
+	loc := Location{Shard: shard}
+	if l, ok := s.children[shard].(Locator); ok {
+		child := l.Locate(key)
+		loc.Held, loc.Replica = child.Held, child.Replica
+	}
+	return loc
+}
+
+// Locate implements Locator: a key held by the local (replica) side is the
+// hottest placement there is; the owner side — often a Remote peer — is
+// deliberately not probed, because a placement probe must stay free.
+func (r *Replicated) Locate(key string) Location {
+	if l, ok := r.local.(Locator); ok {
+		loc := l.Locate(key)
+		if loc.Held {
+			loc.Replica = true
+			loc.Shard = -1
+			return loc
+		}
+	}
+	return Location{Shard: -1}
+}
+
+// ModTimer is an optional Backend refinement: the last-modified time of a
+// stored entry, for age-based garbage collection. ok=false means the
+// backend does not hold the key (or cannot date it).
+type ModTimer interface {
+	ModTime(key string) (time.Time, bool, error)
+}
+
+// ModTime implements ModTimer via one file stat.
+func (d *Disk) ModTime(key string) (time.Time, bool, error) {
+	if !ValidKey(key) {
+		return time.Time{}, false, nil
+	}
+	fi, err := os.Stat(d.Path(key))
+	if os.IsNotExist(err) {
+		return time.Time{}, false, nil
+	}
+	if err != nil {
+		return time.Time{}, false, err
+	}
+	return fi.ModTime(), true, nil
+}
+
+// ModTime implements ModTimer by routing to the owning shard.
+func (s *Sharded) ModTime(key string) (time.Time, bool, error) {
+	if mt, ok := s.children[s.ShardFor(key)].(ModTimer); ok {
+		return mt.ModTime(key)
+	}
+	return time.Time{}, false, nil
+}
+
+// ModTime implements ModTimer against the owner backend: GC reasons about
+// the authoritative copy, not about replicas.
+func (r *Replicated) ModTime(key string) (time.Time, bool, error) {
+	if mt, ok := r.owner.(ModTimer); ok {
+		return mt.ModTime(key)
+	}
+	return time.Time{}, false, nil
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// locKey builds a distinct valid content address per test case.
+func locKey(b byte) string { return strings.Repeat(string([]byte{b}), 64) }
+
+// TestLocate covers the placement probe across the backend zoo, and pins
+// its side-effect freedom: probing must not move a single counter.
+func TestLocate(t *testing.T) {
+	held, absent := locKey('a'), locKey('b')
+
+	mem := NewMemory("m", 0)
+	if err := mem.Put(held, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := NewDisk("d", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Put(held, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, b := range map[string]Backend{"memory": mem, "disk": disk} {
+		l := b.(Locator)
+		before := b.Stats()
+		if loc := l.Locate(held); !loc.Held || loc.Replica || loc.Shard != -1 {
+			t.Errorf("%s: Locate(held) = %+v", name, loc)
+		}
+		if loc := l.Locate(absent); loc.Held {
+			t.Errorf("%s: Locate(absent) = %+v", name, loc)
+		}
+		if after := b.Stats(); after.Gets != before.Gets || after.Hits != before.Hits || after.Misses != before.Misses {
+			t.Errorf("%s: Locate moved counters: %+v -> %+v", name, before, after)
+		}
+	}
+
+	// Sharded: the probe names the owning shard whether or not it holds
+	// the key.
+	shards := []Backend{NewMemory("s0", 0), NewMemory("s1", 0), NewMemory("s2", 0)}
+	sh, err := NewSharded("sharded", shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Put(held, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if loc := sh.Locate(held); !loc.Held || loc.Shard != sh.ShardFor(held) {
+		t.Errorf("sharded Locate(held) = %+v, want held on shard %d", loc, sh.ShardFor(held))
+	}
+	if loc := sh.Locate(absent); loc.Held || loc.Shard != sh.ShardFor(absent) {
+		t.Errorf("sharded Locate(absent) = %+v", loc)
+	}
+
+	// Replicated: only a local replica reads as held (and replica-class);
+	// the owner side is never probed.
+	owner := NewMemory("owner", 0)
+	local := NewMemory("local", 0)
+	rep, err := NewReplicated("rep", owner, local, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Put(held, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if loc := rep.Locate(held); loc.Held {
+		t.Errorf("owner-only key reads as held: %+v", loc)
+	}
+	// Two gets promote (threshold 1 fires on the first reuse observation).
+	rep.Get(held)
+	rep.Get(held)
+	if loc := rep.Locate(held); !loc.Held || !loc.Replica {
+		t.Errorf("promoted key not replica-class: %+v (replication %+v)", loc, rep.Stats().Replication)
+	}
+}
+
+// TestModTime covers age probes on disk, through a sharded composite, and
+// their absence on memory.
+func TestModTime(t *testing.T) {
+	key := locKey('c')
+	disk, err := NewDisk("d", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := disk.ModTime(key); ok {
+		t.Fatal("absent key has a mod time")
+	}
+	if err := disk.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mt, ok, err := disk.ModTime(key)
+	if err != nil || !ok {
+		t.Fatalf("ModTime = %v %v", ok, err)
+	}
+	if d := time.Since(mt); d < 0 || d > time.Minute {
+		t.Fatalf("mod time %v is not recent", mt)
+	}
+
+	sh, err := NewSharded("sharded", disk, NewMemory("m", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = sh.ModTime(key)
+	wantOK := sh.ShardFor(key) == 0 // only the disk shard can date entries
+	if err != nil || ok != wantOK {
+		t.Fatalf("sharded ModTime ok = %v, want %v (err %v)", ok, wantOK, err)
+	}
+}

@@ -19,6 +19,7 @@
 package lard
 
 import (
+	"context"
 	"fmt"
 
 	"lard/internal/config"
@@ -204,12 +205,59 @@ func LookupStored(st *resultstore.Store, benchmark string, s Scheme, o Options) 
 // simulating, and a fresh run is stored before returning. The bool reports
 // whether the result came from cache.
 func RunWithStore(st *resultstore.Store, benchmark string, s Scheme, o Options) (*Result, bool, error) {
+	return RunWithStoreProgress(context.Background(), st, benchmark, s, o, nil)
+}
+
+// ProgressFunc observes a running simulation: done is the number of memory
+// operations retired so far, total the run's full operation count. It is
+// called every few thousand simulated operations and once at completion
+// with done == total; implementations must be fast and must not block.
+type ProgressFunc func(done, total uint64)
+
+// RunWithProgress is Run with a live progress observer. Progress is
+// execution plumbing, not run identity: the result (and, under a store,
+// its content address) is identical to an unobserved run.
+func RunWithProgress(benchmark string, s Scheme, o Options, p ProgressFunc) (*Result, error) {
+	prof, cfg, opt, _, err := plan(benchmark, s, o)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil {
+		opt.Progress = p
+	}
+	res := sim.Run(cfg, prof, opt)
+	return export(res), nil
+}
+
+// RunWithStoreProgress is the execution engine's run primitive:
+// RunWithStore plus a progress observer and context cancellation. A
+// cancelled ctx interrupts the simulation at its next progress-cadence
+// check and returns ctx's error; nothing is stored for an interrupted
+// run, so a later resubmission simulates afresh. Store hits return
+// instantly (with no intermediate progress callbacks — there is nothing
+// to watch).
+func RunWithStoreProgress(ctx context.Context, st *resultstore.Store, benchmark string, s Scheme, o Options, p ProgressFunc) (*Result, bool, error) {
 	prof, cfg, opt, spec, err := plan(benchmark, s, o)
 	if err != nil {
 		return nil, false, err
 	}
-	res, cached, err := st.GetOrCompute(spec,
-		func() (*sim.Result, error) { return sim.Run(cfg, prof, opt), nil })
+	if p != nil {
+		opt.Progress = p
+	}
+	if ctx != nil && ctx.Done() != nil {
+		opt.Interrupt = ctx.Done()
+	}
+	res, cached, err := st.GetOrCompute(spec, func() (*sim.Result, error) {
+		r := sim.Run(cfg, prof, opt)
+		if r == nil {
+			// The only way sim.Run returns nil is the interrupt firing.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.Canceled
+		}
+		return r, nil
+	})
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,10 +1,13 @@
 package lard_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"lard"
+	"lard/internal/resultstore"
 )
 
 func run(t *testing.T, bench string, s lard.Scheme, o lard.Options) *lard.Result {
@@ -169,5 +172,66 @@ func TestBarnesOrdering(t *testing.T) {
 	}
 	if rt3.Misses["LLC-Replica-Hit"] == 0 {
 		t.Error("RT-3 must service BARNES misses from replicas")
+	}
+}
+
+// TestRunWithProgress pins the facade progress contract: interior reports
+// arrive, the final report is done == total, and the observed run's result
+// matches an unobserved one.
+func TestRunWithProgress(t *testing.T) {
+	o := lard.Options{Cores: 16, OpsScale: 0.02}
+	var reports int
+	var last, total uint64
+	res, err := lard.RunWithProgress("BARNES", lard.SNUCA(), o, func(d, tot uint64) {
+		reports++
+		last, total = d, tot
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports == 0 || last != total || total == 0 {
+		t.Fatalf("reports=%d last=%d total=%d", reports, last, total)
+	}
+	bare, err := lard.Run("BARNES", lard.SNUCA(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.CompletionCycles != res.CompletionCycles {
+		t.Fatal("progress observer changed the result")
+	}
+}
+
+// TestRunWithStoreProgressCancel pins engine-facing cancellation: a
+// context cancelled mid-simulation aborts the run with the context error,
+// stores nothing, and leaves the run computable afresh.
+func TestRunWithStoreProgressCancel(t *testing.T) {
+	st, err := resultstore.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := lard.Options{Cores: 16, OpsScale: 0.05}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, _, err = lard.RunWithStoreProgress(ctx, st, "BARNES", lard.SNUCA(), o, func(d, tot uint64) {
+		if d < tot {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := st.Stats().Computes; n != 1 {
+		t.Fatalf("computes = %d", n)
+	}
+	if _, hit, _ := lard.LookupStored(st, "BARNES", lard.SNUCA(), o); hit {
+		t.Fatal("cancelled run must not be stored")
+	}
+
+	// The same run completes normally afterwards, with progress flowing.
+	var final bool
+	res, cached, err := lard.RunWithStoreProgress(context.Background(), st, "BARNES", lard.SNUCA(), o, func(d, tot uint64) {
+		final = d == tot
+	})
+	if err != nil || cached || res == nil || !final {
+		t.Fatalf("rerun = (%v, cached=%v, final=%v)", err, cached, final)
 	}
 }
