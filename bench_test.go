@@ -15,6 +15,7 @@ package lard_test
 import (
 	"testing"
 
+	"lard"
 	"lard/internal/harness"
 	"lard/internal/mem"
 	"lard/internal/sim"
@@ -218,6 +219,37 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		ops += res.Ops
 	}
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// fig7Member times one Figure-7 member run (BARNES under RT-3 on the
+// 16-core machine) through the public facade, with or without the
+// phase-timing side channel wired.
+func fig7Member(b *testing.B, tm *lard.Timing) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := lard.Run("BARNES", lard.LocalityAware(3),
+			lard.Options{Cores: 16, OpsScale: 0.5, Timing: tm}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7MemberUntraced is the baseline: no observers wired, the
+// configuration every pre-observability run used.
+func BenchmarkFig7MemberUntraced(b *testing.B) { fig7Member(b, nil) }
+
+// BenchmarkFig7MemberTraced wires the sim.Timing phase breakdown — the
+// full per-run cost of the tracing side channel. Compare its ns/op against
+// BenchmarkFig7MemberUntraced: the delta is the observability overhead,
+// and the acceptance bar for the disabled path is < 2%. It also reports
+// the coherence loop's share of the run, the quantity the trace endpoint's
+// waterfall visualizes.
+func BenchmarkFig7MemberTraced(b *testing.B) {
+	var tm lard.Timing
+	fig7Member(b, &tm)
+	if total := tm.Total(); total > 0 {
+		b.ReportMetric(float64(tm.CoherenceLoop)/float64(total), "coherence-loop-share")
+	}
 }
 
 func itoa(v int) string {

@@ -4,7 +4,7 @@
 //
 //	lard-bench [-fig all|1|6|7|8|9|10|lru|oracle|headline] [-cores 64|16|4]
 //	           [-scale 1.0] [-seed 0] [-breakdown BENCH] [-store DIR]
-//	           [-store-shards N] [-remote URL]
+//	           [-store-shards N] [-remote URL] [-waterfall]
 //
 // With -store, every simulation is cached in a content-addressed result
 // store: re-running a figure (or regenerating a different figure that
@@ -17,7 +17,10 @@
 // ONE campaign (-fig 6, 7 or all) instead of simulating locally: the
 // service fans the members out over its worker pool, previously computed
 // members are served from its store, and the rendered table comes back over
-// HTTP.
+// HTTP. Adding -waterfall (against a server started with -trace) follows
+// the tables with each member's phase-timing waterfall — queue wait, the
+// simulator's setup / trace-decode / coherence-loop / finalize breakdown,
+// and the store write — pulled from GET /v1/runs/{id}/trace.
 //
 // Each figure prints an aligned text table; EXPERIMENTS.md records the
 // paper-vs-measured comparison produced by this tool.
@@ -47,6 +50,7 @@ func main() {
 		storeDir    = flag.String("store", "", "result store directory (empty = no caching)")
 		storeShards = flag.Int("store-shards", 1, "consistent-hashed disk shards under the store directory")
 		remote      = flag.String("remote", "", "lard-server URL: submit the figure as one campaign instead of simulating locally")
+		waterfall   = flag.Bool("waterfall", false, "with -remote against a tracing server: print each member's phase-timing waterfall")
 	)
 	flag.Parse()
 	base := harness.Base{Cores: *cores, OpsScale: *scale, Seed: *seed, Parallelism: *par}
@@ -68,8 +72,11 @@ func main() {
 			Schemes:    lard.FigureSchemes(),
 			Options:    lard.Options{Cores: *cores, OpsScale: *scale, Seed: *seed},
 		}
-		fatal(remoteFigure(*remote, *fig, spec))
+		fatal(remoteFigure(*remote, *fig, spec, *waterfall))
 		return
+	}
+	if *waterfall {
+		fatal(fmt.Errorf("-waterfall requires -remote (phase timings come from the server's trace endpoint)"))
 	}
 	if *storeDir == "" && *storeShards > 1 {
 		fatal(fmt.Errorf("-store-shards requires -store"))

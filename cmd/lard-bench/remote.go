@@ -25,7 +25,7 @@ import (
 // (the server sheds load when its queue is full and continues the fan-out
 // on resubmission), and if the event stream is unavailable — an older
 // server, a proxy that buffers — it degrades to the polling loop.
-func remoteFigure(base string, fig string, spec lard.CampaignSpec) error {
+func remoteFigure(base string, fig string, spec lard.CampaignSpec, waterfall bool) error {
 	base = strings.TrimRight(base, "/")
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -84,6 +84,9 @@ func remoteFigure(base string, fig string, spec lard.CampaignSpec) error {
 			return fmt.Errorf("remote table: HTTP %d", code)
 		}
 		fmt.Println(tbl.Table)
+	}
+	if waterfall {
+		return renderWaterfall(base, view)
 	}
 	return nil
 }

@@ -1,0 +1,91 @@
+// Command lard-metricslint fetches a Prometheus text exposition — a live
+// lard-server's /metrics by default, or any file — and checks it for
+// format conformance: HELP before TYPE, contiguous families, no duplicate
+// family declarations, legal metric and label names, and for every
+// histogram ascending cumulative buckets whose +Inf count equals _count.
+//
+// Usage:
+//
+//	lard-metricslint [-url http://localhost:8347/metrics]
+//	lard-metricslint -file metrics.txt
+//	lard-metricslint [-require lard_run_duration_seconds,...]
+//
+// -require names families (comma-separated) that must be PRESENT, not
+// just well-formed — CI uses it to pin the observability contract: a
+// refactor that silently drops lard_run_duration_seconds fails the e2e
+// job even though the remaining exposition still lints clean.
+//
+// Exit status is 1 on any violation (each is printed), 0 on a clean
+// exposition. The checker is internal/obs.Lint — the same code the unit
+// tests run against the server's handler, here pointed at a real process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"lard/internal/obs"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://localhost:8347/metrics", "metrics endpoint to fetch")
+		file    = flag.String("file", "", "lint a saved exposition file instead of fetching")
+		require = flag.String("require", "", "comma-separated families that must be present")
+	)
+	flag.Parse()
+
+	var text string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		fatal(err)
+		text = string(b)
+	default:
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(*url)
+		fatal(err)
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fatal(err)
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("GET %s: HTTP %d", *url, resp.StatusCode))
+		}
+		text = string(b)
+	}
+
+	failed := false
+	for _, err := range obs.Lint(text) {
+		fmt.Fprintln(os.Stderr, "lard-metricslint:", err)
+		failed = true
+	}
+	if *require != "" {
+		for _, family := range strings.Split(*require, ",") {
+			family = strings.TrimSpace(family)
+			if family == "" {
+				continue
+			}
+			if !strings.Contains(text, "# TYPE "+family+" ") {
+				fmt.Fprintf(os.Stderr, "lard-metricslint: required family %s is missing\n", family)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	families := strings.Count(text, "# TYPE ")
+	fmt.Printf("lard-metricslint: OK (%d families, %d lines)\n", families, strings.Count(text, "\n"))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lard-metricslint:", err)
+		os.Exit(1)
+	}
+}

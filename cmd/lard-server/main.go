@@ -7,6 +7,20 @@
 //	lard-server [-addr :8347] [-store DIR] [-workers N] [-queue N]
 //	            [-max-entries N] [-shards N] [-peer URL]
 //	            [-replicate-threshold N] [-replica-capacity N]
+//	            [-trace] [-max-traces N] [-log-level LEVEL]
+//	            [-debug-addr ADDR]
+//
+// Observability:
+//
+//	-trace       records a span tree per run (admitted -> dispatched ->
+//	             queued -> simulating with the simulator's phase
+//	             breakdown -> stored), served by GET /v1/runs/{id}/trace
+//	             and carried as span ids on the SSE event streams.
+//	-log-level   debug|info|warn|error structured logging (log/slog,
+//	             stderr). Run, campaign and span ids ride every record.
+//	-debug-addr  serves net/http/pprof on a second, private listener
+//	             (e.g. localhost:6060) so profiling never shares a port
+//	             with the public API.
 //
 // An empty -store selects a memory-only store (results do not survive a
 // restart). -max-entries bounds the store's in-memory layer with LRU
@@ -36,11 +50,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"lard/internal/obs"
 	"lard/internal/resultstore"
 	"lard/internal/server"
 )
@@ -56,8 +72,19 @@ func main() {
 		peer       = flag.String("peer", "", "peer lard-server URL owning the result space (enables locality-aware replication)")
 		replThresh = flag.Int("replicate-threshold", 2, "reuse count that earns a peer-owned entry a local replica")
 		replCap    = flag.Int("replica-capacity", 4096, "local replica bound, LRU-demoted beyond it (0 = unbounded)")
+		trace      = flag.Bool("trace", false, "record a span tree per run, served by GET /v1/runs/{id}/trace")
+		maxTraces  = flag.Int("max-traces", 0, "bound on retained traces, oldest-finished evicted beyond it (0 = default 4096)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		debugAddr  = flag.String("debug-addr", "", "private listener for net/http/pprof (empty = disabled)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	fatal(err)
+	logger := obs.NewLogger(os.Stderr, level, "lard-server")
+	if *maxTraces != 0 && !*trace {
+		fatal(fmt.Errorf("-max-traces requires -trace (there is no trace registry to bound)"))
+	}
 
 	// Silent misconfiguration guard (the PR-2 discipline): a flag that
 	// would be ignored is an error, not a shrug — an operator who asked
@@ -83,7 +110,8 @@ func main() {
 	})
 	fatal(err)
 	defer st.Close()
-	svc, err := server.New(server.Config{Store: st, Workers: *workers, QueueDepth: *queue})
+	ob := obs.New(obs.Options{Tracing: *trace, MaxTraces: *maxTraces, Log: logger})
+	svc, err := server.New(server.Config{Store: st, Workers: *workers, QueueDepth: *queue, Obs: ob})
 	fatal(err)
 	svc.Start()
 
@@ -97,6 +125,17 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	if *debugAddr != "" {
+		// net/http/pprof registers on the default mux; serving it on a
+		// second listener keeps profiling endpoints off the public API.
+		dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 	topology := "flat"
 	if *shards > 1 {
 		topology = fmt.Sprintf("%d shards", *shards)
@@ -104,7 +143,7 @@ func main() {
 	if *peer != "" {
 		topology += fmt.Sprintf(", replicating from peer %s (threshold %d)", *peer, *replThresh)
 	}
-	fmt.Fprintf(os.Stderr, "lard-server: listening on %s (store %q, %s)\n", *addr, *storeDir, topology)
+	logger.Info("listening", "addr", *addr, "store", *storeDir, "topology", topology, "tracing", *trace, "level", level.String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -114,14 +153,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "lard-server: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "lard-server: http shutdown:", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := svc.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "lard-server: worker shutdown:", err)
+		logger.Error("worker shutdown", "err", err)
 	}
 }
 

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	lard-trend [-tolerance 10] OLD.json NEW.json
-//	lard-trend [-tolerance 10] DIR
+//	lard-trend [-tolerance 10] [-baseline FILE] DIR
 //
 // With two file arguments the first is the baseline. With a directory,
 // the two most recently modified BENCH_*.json files are compared (older =
-// baseline). Plain `go test -bench` text output is accepted too: any line
+// baseline); when the directory holds only ONE artifact — the first run
+// of a fresh CI history — -baseline names the fallback to diff against
+// (the repo seeds bench/BENCH_baseline.json for exactly this), so the
+// guard works from the very first commit instead of silently passing. Plain `go test -bench` text output is accepted too: any line
 // that is not a test2json event is scanned directly.
 //
 // Output is one row per benchmark with the ns/op delta. The exit status
@@ -145,12 +148,21 @@ func diff(old, new map[string]float64) (both []delta, added, removed []string) {
 // latestTwo returns the two most recently modified BENCH_*.json files in
 // dir: (baseline, candidate).
 func latestTwo(dir string) (string, string, error) {
+	return latestTwoFallback(dir, "")
+}
+
+// latestTwoFallback is latestTwo with a seed baseline: a directory with a
+// single artifact diffs it against the fallback file instead of erroring.
+func latestTwoFallback(dir, fallback string) (string, string, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
 		return "", "", err
 	}
+	if len(matches) == 1 && fallback != "" {
+		return fallback, matches[0], nil
+	}
 	if len(matches) < 2 {
-		return "", "", fmt.Errorf("%s holds %d BENCH_*.json artifacts, need at least 2", dir, len(matches))
+		return "", "", fmt.Errorf("%s holds %d BENCH_*.json artifacts, need at least 2 (or -baseline)", dir, len(matches))
 	}
 	sort.Slice(matches, func(i, j int) bool {
 		fi, erri := os.Stat(matches[i])
@@ -206,6 +218,7 @@ func run(w io.Writer, oldPath, newPath string, tolerancePct float64) (regressed 
 
 func main() {
 	tolerance := flag.Float64("tolerance", 10, "max allowed slowdown in percent before exiting nonzero")
+	baseline := flag.String("baseline", "", "seed baseline artifact, used in directory mode when only one BENCH_*.json exists")
 	flag.Parse()
 
 	var oldPath, newPath string
@@ -218,8 +231,11 @@ func main() {
 		if !info.IsDir() {
 			fatal(fmt.Errorf("single argument must be a directory of BENCH_*.json artifacts"))
 		}
-		oldPath, newPath, err = latestTwo(flag.Arg(0))
+		oldPath, newPath, err = latestTwoFallback(flag.Arg(0), *baseline)
 		fatal(err)
+		if oldPath == *baseline && *baseline != "" {
+			fmt.Fprintf(os.Stderr, "lard-trend: single artifact in %s, diffing against seed baseline %s\n", flag.Arg(0), *baseline)
+		}
 	case 2:
 		oldPath, newPath = flag.Arg(0), flag.Arg(1)
 	default:

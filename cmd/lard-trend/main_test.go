@@ -136,3 +136,39 @@ func TestRunDetectsRegression(t *testing.T) {
 		t.Fatal("empty baseline must error")
 	}
 }
+
+// TestBaselineFallback: a directory with a single artifact (the first CI
+// run of a fresh history) diffs against the seed baseline file instead of
+// erroring — and still errors when no fallback is named.
+func TestBaselineFallback(t *testing.T) {
+	seedDir := t.TempDir()
+	seed := write(t, seedDir, "BENCH_baseline.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1000 ns/op",
+	), 24*time.Hour)
+
+	dir := t.TempDir()
+	only := write(t, dir, "BENCH_abc.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1050 ns/op",
+	), time.Hour)
+
+	if _, _, err := latestTwo(dir); err == nil {
+		t.Fatal("one artifact and no fallback must error")
+	}
+	o, n, err := latestTwoFallback(dir, seed)
+	if err != nil || o != seed || n != only {
+		t.Fatalf("fallback = %s, %s (%v)", o, n, err)
+	}
+	var out strings.Builder
+	regressed, err := run(&out, o, n, 10)
+	if err != nil || regressed {
+		t.Fatalf("+5%% within tolerance 10%% must pass (%v):\n%s", err, out.String())
+	}
+	// Two artifacts in the directory: the fallback is ignored.
+	second := write(t, dir, "BENCH_def.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1060 ns/op",
+	), 0)
+	o, n, err = latestTwoFallback(dir, seed)
+	if err != nil || o != only || n != second {
+		t.Fatalf("two artifacts must ignore the fallback: %s, %s (%v)", o, n, err)
+	}
+}

@@ -31,6 +31,10 @@ type Event struct {
 	// Terminal marks the final event of a job (or of a campaign on
 	// campaign-level events): no further events follow for it.
 	Terminal bool `json:"terminal,omitempty"`
+	// Span is the id of the job's current trace span when tracing is
+	// enabled ("" otherwise): the correlation key that lets SSE
+	// consumers line events up against GET /v1/runs/{id}/trace.
+	Span string `json:"span,omitempty"`
 }
 
 // Subscription is one live event feed. Receive from C; call Close exactly

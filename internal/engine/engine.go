@@ -28,9 +28,12 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"lard"
+	"lard/internal/obs"
 	"lard/internal/resultstore"
 )
 
@@ -92,6 +95,15 @@ type job struct {
 	enq       uint64             // admission order within the queue
 	cancel    context.CancelFunc // set while running
 	cancelReq bool               // cancellation requested
+
+	// Observability. admittedAt is the queue-admission instant (zero for
+	// jobs answered from the store without queueing); root is the job's
+	// trace root and phase the currently open phase span, both nil when
+	// tracing is disabled. The phase pointer is written only under the
+	// engine mutex; span-internal state has its own lock.
+	admittedAt time.Time
+	root       *obs.Span
+	phase      *obs.Span
 }
 
 // Config configures an Engine.
@@ -116,6 +128,10 @@ type Config struct {
 	EventQueue int
 	// EventHistory bounds each topic's replayable history (default 512).
 	EventHistory int
+	// Obs is the observability bundle — tracer, latency histograms,
+	// logger (default obs.Nop(): histograms recorded but unexported,
+	// tracing off, logs discarded).
+	Obs *obs.Observer
 }
 
 // maxCompletedJobs is the default bound on the finished-job registry.
@@ -146,6 +162,7 @@ type Engine struct {
 	queueCap   int
 	dispatcher Dispatcher
 	bus        *bus
+	obs        *obs.Observer
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals queue pushes and shutdown
@@ -199,6 +216,10 @@ func New(cfg Config) (*Engine, error) {
 	if disp == nil {
 		disp = NewLocalityDispatcher(cfg.Store)
 	}
+	ob := cfg.Obs
+	if ob == nil {
+		ob = obs.Nop()
+	}
 	e := &Engine{
 		store:       cfg.Store,
 		run:         run,
@@ -206,6 +227,7 @@ func New(cfg Config) (*Engine, error) {
 		maxDone:     maxDone,
 		queueCap:    depth,
 		dispatcher:  disp,
+		obs:         ob,
 		bus:         newBus(cfg.EventQueue, cfg.EventHistory),
 		jobs:        make(map[string]*job),
 		stop:        make(chan struct{}),
@@ -295,17 +317,72 @@ func (e *Engine) worker(lane int) {
 		j.cancel = cancel
 		e.busy++
 		e.runsStarted++
+		if !j.admittedAt.IsZero() {
+			e.obs.QueueWait.ObserveDuration(time.Since(j.admittedAt))
+		}
+		j.phase.End() // queued
+		simSpan := j.root.Child("simulating")
+		j.phase = simSpan
 		e.publishJobLocked(j, Event{State: StatusRunning, Progress: j.progress})
 		e.mu.Unlock()
 
+		// When tracing, run through an options copy carrying the
+		// simulator's phase-timing side channel — key-neutral, so the
+		// job's content address (its id) is untouched.
+		opts := j.req.Options
+		var tm lard.Timing
+		if simSpan != nil {
+			opts.Timing = &tm
+		}
 		progress := func(done, total uint64) { e.reportProgress(j, done, total) }
-		res, cached, err := e.run(ctx, e.store, j.req.Benchmark, j.req.Scheme, j.req.Options, progress)
+		callStart := time.Now()
+		res, cached, err := e.run(ctx, e.store, j.req.Benchmark, j.req.Scheme, opts, progress)
+		callDur := time.Since(callStart)
 		cancel()
+		e.graftSimPhases(j, simSpan, &tm, callStart, callDur, cached)
 		e.finish(j, res, cached, err)
 		e.mu.Lock()
 		e.busy--
 		j.cancel = nil
 		e.mu.Unlock()
+	}
+}
+
+// graftSimPhases attaches the simulator's measured phase breakdown as
+// children of the "simulating" span and adds the "stored" span covering
+// the residual of the run call (store write, encode, singleflight
+// coordination). Runs served from the store mid-call — or executed by a
+// stub RunFunc that never fills the side channel — get a single "stored"
+// span over the whole call. No-op when tracing is disabled.
+func (e *Engine) graftSimPhases(j *job, simSpan *obs.Span, tm *lard.Timing, callStart time.Time, callDur time.Duration, cached bool) {
+	if simSpan == nil {
+		return
+	}
+	simulated := tm.Total() > 0
+	if simulated {
+		t := tm.Start
+		for _, ph := range []struct {
+			name string
+			d    time.Duration
+		}{
+			{"setup", tm.Setup},
+			{"trace_decode", tm.TraceDecode},
+			{"coherence_loop", tm.CoherenceLoop},
+			{"finalize", tm.Finalize},
+		} {
+			simSpan.ChildAt(ph.name, t, ph.d)
+			t = t.Add(ph.d)
+		}
+	}
+	simSpan.End()
+	var stored *obs.Span
+	if simulated && callDur > tm.Total() {
+		stored = j.root.ChildAt("stored", callStart.Add(tm.Total()), callDur-tm.Total())
+	} else {
+		stored = j.root.ChildAt("stored", callStart, callDur)
+	}
+	if cached {
+		stored.SetAttr("cached", "true")
 	}
 }
 
@@ -374,7 +451,10 @@ func (e *Engine) Submit(key string, req Request) (view JobView, shed bool, err e
 	if err != nil {
 		return JobView{}, false, err
 	}
+	dispatchStart := time.Now()
 	placement := e.dispatcher.Place(key, e.workers)
+	dispatchDur := time.Since(dispatchStart)
+	e.obs.Dispatch.ObserveDuration(dispatchDur, placement.Class.String())
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -391,16 +471,56 @@ func (e *Engine) Submit(key string, req Request) (view JobView, shed bool, err e
 		j.status, j.cached, j.result, j.progress = StatusDone, true, res, 1
 		e.runsCached++
 		e.jobs[key] = j
+		e.beginTraceLocked(j, dispatchStart, dispatchDur, false)
+		stored := j.root.Child("stored")
+		stored.SetAttr("cached", "true")
+		stored.End()
+		j.root.End()
+		e.obs.Log.Debug("run served from store", "run", j.id, "benchmark", req.Benchmark)
 		e.publishJobLocked(j, Event{State: StatusDone, Progress: 1, Cached: true, Terminal: true})
 		e.completedLocked(j)
 		return viewOf(j), false, nil
 	}
 	if !e.admitLocked(j) {
+		e.obs.Log.Warn("queue full, submission shed", "run", key, "benchmark", req.Benchmark)
 		return JobView{}, true, nil
 	}
 	e.jobs[key] = j
+	e.beginTraceLocked(j, dispatchStart, dispatchDur, false)
+	e.obs.Log.Debug("run admitted", "run", j.id, "benchmark", req.Benchmark,
+		"scheme", req.Scheme.Label(), "class", placement.Class.String(), "lane", placement.Lane)
 	e.publishJobLocked(j, Event{State: StatusQueued})
 	return viewOf(j), false, nil
+}
+
+// beginTraceLocked starts (or, on retry, restarts) j's trace: the root
+// "run" span with identity attributes, an "admitted" span containing the
+// measured "dispatched" placement decision, and — for a job actually
+// entering the queue — an open "queued" phase span ended at worker
+// pickup. No-ops entirely when tracing is disabled. Callers hold e.mu.
+func (e *Engine) beginTraceLocked(j *job, dispatchStart time.Time, dispatchDur time.Duration, retry bool) {
+	if j.status == StatusQueued {
+		j.admittedAt = time.Now() // queue-wait baseline, tracing or not
+	}
+	j.root = e.obs.Tracer.StartTrace(j.id, "run")
+	if j.root == nil {
+		return
+	}
+	j.root.SetAttr("benchmark", j.req.Benchmark)
+	j.root.SetAttr("scheme", j.req.Scheme.Label())
+	adm := j.root.Child("admitted")
+	if retry {
+		adm.SetAttr("retry", "true")
+	}
+	if !dispatchStart.IsZero() {
+		d := adm.ChildAt("dispatched", dispatchStart, dispatchDur)
+		d.SetAttr("class", j.placement.Class.String())
+		d.SetAttr("lane", strconv.Itoa(j.placement.Lane))
+	}
+	adm.End()
+	if j.status == StatusQueued {
+		j.phase = j.root.Child("queued")
+	}
 }
 
 // admitLocked places j on the bounded queue, false when full. Callers hold
@@ -432,6 +552,10 @@ func (e *Engine) attachLocked(j *job) (JobView, bool, error) {
 			return JobView{}, true, nil
 		}
 		j.status, j.err, j.cancelReq, j.progress = StatusQueued, "", false, 0
+		// A retry restarts the trace: the tree always describes the
+		// attempt that produced the job's current state.
+		e.beginTraceLocked(j, time.Time{}, 0, true)
+		e.obs.Log.Debug("run re-enqueued for retry", "run", j.id, "benchmark", j.req.Benchmark)
 		e.publishJobLocked(j, Event{State: StatusQueued})
 		e.campaignReopenLocked(j.id)
 		return viewOf(j), false, nil
@@ -531,6 +655,21 @@ func (e *Engine) finishLocked(j *job, res *lard.Result, cached bool, err error) 
 		e.runsCompleted++
 		e.publishJobLocked(j, Event{State: StatusDone, Progress: 1, Cached: cached, Terminal: true})
 	}
+	if !j.admittedAt.IsZero() {
+		e.obs.RunDuration.ObserveDuration(time.Since(j.admittedAt))
+	}
+	// Ending the root closes any still-open phase span (queued on an
+	// early cancel, simulating on a failure), so finished traces never
+	// dangle.
+	j.root.End()
+	j.phase = nil
+	switch j.status {
+	case StatusFailed:
+		e.obs.Log.Warn("run failed", "run", j.id, "benchmark", j.req.Benchmark, "error", j.err)
+	default:
+		e.obs.Log.Debug("run finished", "run", j.id, "benchmark", j.req.Benchmark,
+			"status", j.status, "cached", j.cached)
+	}
 	e.completedLocked(j)
 }
 
@@ -587,6 +726,11 @@ func (e *Engine) publishJobLocked(j *job, ev Event) {
 	ev.Job = j.id
 	ev.Benchmark = j.req.Benchmark
 	ev.Scheme = j.req.Scheme.Label()
+	if j.phase != nil {
+		ev.Span = j.phase.ID()
+	} else {
+		ev.Span = j.root.ID() // "" when tracing is disabled
+	}
 	e.bus.publish(j.id, ev)
 	for campID := range e.memberCamps[j.id] {
 		cev := ev
@@ -627,6 +771,16 @@ func (e *Engine) SubscribeCampaign(id string) ([]Event, *Subscription, bool) {
 
 // EventStats returns the bus counters.
 func (e *Engine) EventStats() EventStats { return e.bus.stats() }
+
+// Obs returns the engine's observability bundle (never nil).
+func (e *Engine) Obs() *obs.Observer { return e.obs }
+
+// Trace returns the span tree recorded for the run with the given id
+// (a content address, exactly as Job). ok=false when tracing is disabled
+// or the trace has been evicted from the bounded registry.
+func (e *Engine) Trace(id string) (obs.TraceView, bool) {
+	return e.obs.Tracer.Tree(id)
+}
 
 // Stats is the engine's point-in-time operational snapshot.
 type Stats struct {

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lard/internal/coherence"
@@ -69,7 +70,7 @@ func SpecFor(bench string, cfg *config.Config, opt sim.Options) Spec {
 	if opt.OpsScale == 0 {
 		opt.OpsScale = 1
 	}
-	opt.Progress, opt.ProgressEvery, opt.Interrupt = nil, 0, nil
+	opt.Progress, opt.ProgressEvery, opt.Interrupt, opt.Timing = nil, 0, nil, nil
 	return Spec{Benchmark: bench, Config: *cfg, Options: opt}
 }
 
@@ -178,6 +179,10 @@ type Store struct {
 	specs map[string]Spec
 	calls map[string]*call
 	stats Stats
+
+	// opObs observes persistent-backend operation latencies (observe.go);
+	// atomic so installation never contends with the op hot path.
+	opObs atomic.Pointer[opObserver]
 }
 
 // New opens an unbounded store. dir is the on-disk backend directory,
@@ -471,7 +476,9 @@ func (s *Store) GetRaw(key string) ([]byte, bool, error) {
 		return nil, false, nil
 	}
 	if s.backend != nil {
+		start := time.Now()
 		b, ok, err := s.backend.Get(key)
+		s.observeOp("get", start)
 		if err != nil {
 			return nil, false, err
 		}
@@ -635,7 +642,10 @@ func (s *Store) Delete(key string) error {
 	if s.backend == nil {
 		return nil
 	}
-	return s.backend.Delete(key)
+	start := time.Now()
+	err := s.backend.Delete(key)
+	s.observeOp("delete", start)
+	return err
 }
 
 // GetOrCompute returns the cached result for spec, computing and storing it
@@ -715,7 +725,9 @@ func (s *Store) leader(key string, spec Spec, compute func() (*sim.Result, error
 func (s *Store) Keys() ([]string, error) {
 	set := make(map[string]bool)
 	if s.backend != nil {
+		start := time.Now()
 		ks, err := s.backend.Index()
+		s.observeOp("index", start)
 		if err != nil {
 			return nil, fmt.Errorf("resultstore: index: %w", err)
 		}
@@ -833,7 +845,9 @@ func (s *Store) readBackend(key string) (*entry, error) {
 	if s.backend == nil {
 		return nil, nil
 	}
+	start := time.Now()
 	b, ok, err := s.backend.Get(key)
+	s.observeOp("get", start)
 	if err != nil {
 		return nil, fmt.Errorf("resultstore: read %s: %w", key, err)
 	}
@@ -867,7 +881,10 @@ func (s *Store) writeBackend(key string, spec Spec, r *sim.Result) error {
 	if err != nil {
 		return err
 	}
-	if err := s.backend.Put(key, b); err != nil {
+	start := time.Now()
+	err = s.backend.Put(key, b)
+	s.observeOp("put", start)
+	if err != nil {
 		return fmt.Errorf("resultstore: write %s: %w", key, err)
 	}
 	return nil

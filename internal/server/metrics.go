@@ -159,6 +159,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if bs, ok := s.store.BackendStats(); ok {
 		renderBackendMetrics(&b, bs)
 	}
+	// The observability layer's latency histograms (run duration, queue
+	// wait, dispatch, store ops, HTTP) and the process-level families
+	// (build info, goroutines, heap, GC, uptime).
+	s.obs.WriteHistograms(&b)
+	s.obs.WriteRuntimeMetrics(&b)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

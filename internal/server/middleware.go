@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status for the HTTP latency
+// histogram. It deliberately implements http.Flusher by delegation: the
+// SSE handlers' handshake type-asserts the ResponseWriter, and wrapping
+// must not cost them streaming. (Flush on a non-Flusher inner writer is
+// a no-op, exactly as an unwrapped handler would have discovered at
+// handshake time — sseHandshake still checks the real capability.)
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// flusherCapable reports whether the underlying writer can stream —
+// what sseHandshake really wants to know through the wrapper.
+func (w *statusWriter) flusherCapable() bool {
+	_, ok := w.ResponseWriter.(http.Flusher)
+	return ok
+}
+
+// withHTTPMetrics wraps the mux with the request-latency observer:
+// every request lands in lard_http_request_seconds{route,code}, labeled
+// by the matched route pattern (so /v1/runs/{id} is one series, not one
+// per id) and the response status. Unmatched requests label as the bare
+// 404 they are.
+func (s *Server) withHTTPMetrics(next *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			// Handler wrote nothing (e.g. a long-poll torn down by the
+			// client); net/http would have sent 200.
+			sw.status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.obs.HTTP.ObserveDuration(time.Since(start), route, strconv.Itoa(sw.status))
+	})
+}

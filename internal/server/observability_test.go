@@ -1,0 +1,221 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lard/internal/obs"
+)
+
+// tracedTestServer is newTestServer with run tracing enabled — the
+// configuration the acceptance tests exercise.
+func tracedTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Obs = obs.New(obs.Options{Tracing: true})
+	return newTestServer(t, cfg)
+}
+
+// TestMetricsConformance runs real traffic through the server and then
+// requires the full /metrics body to pass the Prometheus text-format
+// linter: HELP before TYPE, contiguous families, no duplicates, and for
+// every histogram ascending cumulative buckets with a +Inf bucket equal
+// to _count. All five latency families plus the process-level families
+// must be present.
+func TestMetricsConformance(t *testing.T) {
+	_, ts := tracedTestServer(t, Config{Workers: 2})
+
+	// Generate traffic on several routes so the histograms hold samples:
+	// a real run (run-duration, queue-wait, dispatch, store-op), its poll
+	// (http), and a 404 (the error-path code label).
+	_, v := post(t, ts, smallRun(1))
+	poll(t, ts, v.ID)
+	if resp, err := http.Get(ts.URL + "/v1/runs/nope"); err == nil {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	text := string(body)
+	if errs := obs.Lint(text); len(errs) != 0 {
+		for _, e := range errs {
+			t.Errorf("lint: %v", e)
+		}
+		t.Fatalf("/metrics failed exposition lint (%d errors)", len(errs))
+	}
+
+	for _, family := range []string{
+		"lard_run_duration_seconds",
+		"lard_queue_wait_seconds",
+		"lard_dispatch_seconds",
+		"lard_store_op_seconds",
+		"lard_http_request_seconds",
+		"lard_build_info",
+		"lard_goroutines",
+		"lard_heap_bytes",
+		"lard_gc_pause_seconds_total",
+		"lard_uptime_seconds",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("family %s missing from /metrics", family)
+		}
+	}
+
+	// The run that completed must show up as a run-duration sample and the
+	// disk-backed store as store-op samples.
+	for _, sample := range []string{
+		`lard_run_duration_seconds_count 1`,
+		`lard_store_op_seconds_count{`,
+		`lard_http_request_seconds_bucket{`,
+	} {
+		if !strings.Contains(text, sample) {
+			t.Errorf("expected %q in /metrics\n", sample)
+		}
+	}
+	// Route labels come from the matched pattern, so every poll of
+	// /v1/runs/<id> (and the 404 for the unknown id) lands in one series.
+	if !strings.Contains(text, `route="GET /v1/runs/{id}"`) {
+		t.Errorf("run-poll route label missing from lard_http_request_seconds")
+	}
+}
+
+// TestCampaignTraceAcceptance is the issue's acceptance test: submit a
+// real campaign over real HTTP with tracing enabled and require every
+// member to answer GET /v1/runs/{id}/trace with a finished span tree
+// whose simulating span carries a coherence_loop phase with non-zero
+// duration.
+func TestCampaignTraceAcceptance(t *testing.T) {
+	_, ts := tracedTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	code, v := postCampaign(t, ts, smallCampaign("BARNES", "DEDUP"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	done := pollCampaign(t, ts, v.ID)
+	if !done.Complete {
+		t.Fatalf("campaign = %+v", done)
+	}
+
+	for _, m := range done.Members {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + m.ID + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tree obs.TraceView
+		err = json.NewDecoder(resp.Body).Decode(&tree)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("member %s trace = %d", m.ID, resp.StatusCode)
+		}
+		if !tree.Finished {
+			t.Errorf("member %s (%s/%s): trace not finished", m.ID, m.Benchmark, m.Scheme)
+		}
+		if tree.Trace != m.ID {
+			t.Errorf("trace id %q != member id %q", tree.Trace, m.ID)
+		}
+		loop, ok := findSpan(tree.Root, "coherence_loop")
+		if !ok {
+			t.Fatalf("member %s: no coherence_loop span in tree %+v", m.ID, tree.Root)
+		}
+		if loop.DurationMS <= 0 {
+			t.Errorf("member %s: coherence_loop duration = %v, want > 0", m.ID, loop.DurationMS)
+		}
+		// The waterfall invariants: every span is closed, the root spans
+		// the whole lifecycle, and the pipeline phases are all present.
+		assertClosed(t, m.ID, tree.Root)
+		for _, phase := range []string{"admitted", "queued", "simulating", "stored"} {
+			if _, ok := findSpan(tree.Root, phase); !ok {
+				t.Errorf("member %s: span %q missing", m.ID, phase)
+			}
+		}
+	}
+}
+
+// TestTraceEndpointDisabled: without tracing, the endpoint 404s with a
+// body that tells the operator how to turn it on.
+func TestTraceEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	_, v := post(t, ts, smallRun(2))
+	poll(t, ts, v.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace with tracing off = %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "tracing is disabled") {
+		t.Fatalf("404 body %q should explain tracing is disabled", body)
+	}
+}
+
+// TestStatsUptimeAndTracing: /stats carries process uptime and the
+// tracing flag.
+func TestStatsUptimeAndTracing(t *testing.T) {
+	_, ts := tracedTestServer(t, Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Tracing       bool    `json:"tracing"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", view.UptimeSeconds)
+	}
+	if !view.Tracing {
+		t.Error("tracing flag should be true on a traced server")
+	}
+}
+
+// findSpan walks the span tree for the first span with the given name.
+func findSpan(v obs.SpanView, name string) (obs.SpanView, bool) {
+	if v.Name == name {
+		return v, true
+	}
+	for _, c := range v.Children {
+		if found, ok := findSpan(c, name); ok {
+			return found, true
+		}
+	}
+	return obs.SpanView{}, false
+}
+
+// assertClosed requires every span in the tree to have ended.
+func assertClosed(t *testing.T, member string, v obs.SpanView) {
+	t.Helper()
+	if v.End == nil {
+		t.Errorf("member %s: span %q never ended", member, v.Name)
+	}
+	for _, c := range v.Children {
+		assertClosed(t, member, c)
+	}
+}

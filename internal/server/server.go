@@ -16,6 +16,11 @@
 //	GET  /v1/runs/{id}/events        live event stream (SSE): replayed
 //	                                 history, then live lifecycle + progress
 //	                                 events, heartbeats between
+//	GET  /v1/runs/{id}/trace         the run's finished (or in-flight) span
+//	                                 tree: admitted -> dispatched -> queued
+//	                                 -> simulating (with the simulator's
+//	                                 phase breakdown) -> stored; 404 unless
+//	                                 the server runs with tracing enabled
 //	POST /v1/campaigns               submit a benchmark x scheme matrix as
 //	                                 one campaign (see campaign.go)
 //	GET  /v1/campaigns/{id}          campaign progress + per-member status
@@ -63,6 +68,7 @@ import (
 
 	"lard"
 	"lard/internal/engine"
+	"lard/internal/obs"
 	"lard/internal/resultstore"
 	"lard/internal/store"
 )
@@ -115,6 +121,11 @@ type Config struct {
 	// SSEHeartbeat is the keep-alive comment interval on event streams
 	// (default 15s; tests shorten it).
 	SSEHeartbeat time.Duration
+	// Obs is the observability bundle shared by every tier: run tracing
+	// (GET /v1/runs/{id}/trace), the latency histograms on /metrics, and
+	// the structured logger. Default obs.Nop(): histograms recorded,
+	// tracing off, logs discarded.
+	Obs *obs.Observer
 }
 
 // Server is the run service. Create with New, start the worker pool with
@@ -122,7 +133,9 @@ type Config struct {
 type Server struct {
 	store     *resultstore.Store
 	engine    *engine.Engine
+	obs       *obs.Observer
 	mux       *http.ServeMux
+	handler   http.Handler
 	heartbeat time.Duration
 }
 
@@ -131,6 +144,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("server: Config.Store is required")
 	}
+	ob := cfg.Obs
+	if ob == nil {
+		ob = obs.Nop()
+	}
+	// The store reports its backend operation latencies into the shared
+	// histogram; installed before any traffic can flow.
+	cfg.Store.SetOpObserver(func(op, backend string, d time.Duration) {
+		ob.StoreOp.ObserveDuration(d, op, backend)
+	})
 	eng, err := engine.New(engine.Config{
 		Store:            cfg.Store,
 		Workers:          cfg.Workers,
@@ -138,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 		Run:              cfg.Run,
 		MaxCompletedJobs: cfg.MaxCompletedJobs,
 		Dispatcher:       cfg.Dispatcher,
+		Obs:              ob,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -146,12 +169,13 @@ func New(cfg Config) (*Server, error) {
 	if hb <= 0 {
 		hb = 15 * time.Second
 	}
-	s := &Server{store: cfg.Store, engine: eng, heartbeat: hb}
+	s := &Server{store: cfg.Store, engine: eng, obs: ob, heartbeat: hb}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
@@ -165,14 +189,19 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.withHTTPMetrics(s.mux)
 	return s, nil
 }
 
 // Start launches the engine's worker pool.
 func (s *Server) Start() { s.engine.Start() }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (the mux wrapped with the
+// request-latency observer).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Obs returns the server's observability bundle (never nil).
+func (s *Server) Obs() *obs.Observer { return s.obs }
 
 // Engine exposes the underlying execution engine (stats, subscriptions).
 func (s *Server) Engine() *engine.Engine { return s.engine }
@@ -255,6 +284,25 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		Cached:    true,
 		Result:    res,
 	})
+}
+
+// handleRunTrace implements GET /v1/runs/{id}/trace: the run's span tree
+// (admitted -> dispatched -> queued -> simulating with the simulator's
+// phase breakdown -> stored), finished or in flight. 404 covers three
+// cases the body distinguishes: tracing disabled on this server, an id
+// never seen, and a trace evicted from the bounded registry.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tree, ok := s.engine.Trace(id)
+	if !ok {
+		if s.obs.Tracer == nil {
+			writeError(w, http.StatusNotFound, errors.New("tracing is disabled on this server (start with -trace)"))
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("no trace for run %q (unknown id, or evicted)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, tree)
 }
 
 // handleCancel implements DELETE /v1/runs/{id}: cancel a queued or
@@ -432,6 +480,10 @@ type statsView struct {
 	// Backend is the persistent backend's counter tree — per-shard traffic
 	// and entry counts, replication ledger — absent on memory-only stores.
 	Backend *store.Stats `json:"backend,omitempty"`
+	// UptimeSeconds is how long this server process has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Tracing reports whether run tracing (GET /v1/runs/{id}/trace) is on.
+	Tracing bool `json:"tracing"`
 }
 
 // engineStatsView is the engine subtree of /stats: the event bus and the
@@ -459,9 +511,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Cancellations: es.Cancellations,
 			Events:        es.Events,
 		},
-		Store:        s.store.Stats(),
-		StoreEntries: s.store.Len(),
-		StoreDir:     s.store.Dir(),
+		Store:         s.store.Stats(),
+		StoreEntries:  s.store.Len(),
+		StoreDir:      s.store.Dir(),
+		UptimeSeconds: s.obs.Uptime().Seconds(),
+		Tracing:       s.obs.Tracer.Enabled(),
 	}
 	if bs, ok := s.store.BackendStats(); ok {
 		view.Backend = &bs

@@ -36,9 +36,14 @@ import (
 )
 
 // sseHandshake prepares the response for event streaming. ok=false when
-// the connection cannot stream (no flusher).
+// the connection cannot stream (no flusher). The metrics middleware's
+// statusWriter always satisfies http.Flusher by delegation, so it asks
+// the wrapper whether the real connection underneath can stream.
 func sseHandshake(w http.ResponseWriter) (http.Flusher, bool) {
 	f, ok := w.(http.Flusher)
+	if sw, wrapped := w.(*statusWriter); wrapped {
+		ok = sw.flusherCapable()
+	}
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
 		return nil, false

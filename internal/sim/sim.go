@@ -8,6 +8,7 @@ package sim
 
 import (
 	"container/heap"
+	"time"
 
 	"lard/internal/coherence"
 	"lard/internal/config"
@@ -19,10 +20,11 @@ import (
 
 // Options configure one simulation run.
 //
-// The Progress/ProgressEvery/Interrupt fields are execution plumbing, not
-// run identity: they are excluded from JSON encoding (and therefore from
-// every resultstore content address — two runs that differ only in their
-// observers are the same run) and must never change the simulated outcome.
+// The Progress/ProgressEvery/Interrupt/Timing fields are execution
+// plumbing, not run identity: they are excluded from JSON encoding (and
+// therefore from every resultstore content address — two runs that differ
+// only in their observers are the same run) and must never change the
+// simulated outcome.
 type Options struct {
 	// Scheme is the LLC management scheme.
 	Scheme coherence.Scheme
@@ -50,6 +52,11 @@ type Options struct {
 	// returns nil instead of a Result. Wire a context's Done channel here
 	// to make a simulation cancellable.
 	Interrupt <-chan struct{} `json:"-"`
+	// Timing, when non-nil, receives the run's wall-clock phase breakdown
+	// (see Timing). Like the other observers it is key-neutral and costs
+	// nothing on the per-operation hot path: phases are stamped only at
+	// the four phase boundaries.
+	Timing *Timing `json:"-"`
 }
 
 // DefaultProgressEvery is the default Progress/Interrupt polling cadence,
@@ -133,6 +140,26 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 	if opt.OpsScale == 0 {
 		opt.OpsScale = 1
 	}
+	// Phase stamps touch the clock only at the four phase boundaries, so
+	// an unset Timing costs nothing and a set one stays invisible next to
+	// the per-operation simulation cost. Phases accumulate in a local
+	// scratch copied out on every exit path, so an interrupted run still
+	// reports the phases it completed.
+	var tm Timing
+	track := opt.Timing != nil
+	var phaseStart time.Time
+	if track {
+		phaseStart = time.Now()
+		tm.Start = phaseStart
+	}
+	lap := func(d *time.Duration) {
+		if !track {
+			return
+		}
+		now := time.Now()
+		*d = now.Sub(phaseStart)
+		phaseStart = now
+	}
 	eng := coherence.New(cfg, coherence.Options{
 		Scheme:          opt.Scheme,
 		ASRLevel:        opt.ASRLevel,
@@ -140,7 +167,9 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 		CheckInvariants: opt.CheckInvariants,
 		TrackRuns:       opt.TrackRuns,
 	})
+	lap(&tm.Setup)
 	w := trace.Generate(p, cfg, opt.OpsScale, opt.Seed)
+	lap(&tm.TraceDecode)
 
 	n := cfg.Cores
 	var (
@@ -211,6 +240,10 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 			if opt.Interrupt != nil {
 				select {
 				case <-opt.Interrupt:
+					if track {
+						lap(&tm.CoherenceLoop)
+						*opt.Timing = tm
+					}
 					return nil
 				default:
 				}
@@ -221,6 +254,7 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 		}
 		h.push(res.Done, c)
 	}
+	lap(&tm.CoherenceLoop)
 
 	r := &Result{
 		Benchmark:             p.Name,
@@ -244,6 +278,10 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 	}
 	if opt.Progress != nil {
 		opt.Progress(totalOps, targetOps)
+	}
+	if track {
+		lap(&tm.Finalize)
+		*opt.Timing = tm
 	}
 	return r
 }

@@ -105,7 +105,16 @@ type Options struct {
 	CheckInvariants bool `json:"check_invariants,omitempty"`
 	// TrackRuns collects the Figure-1 run-length histogram.
 	TrackRuns bool `json:"track_runs,omitempty"`
+	// Timing, when non-nil, receives the simulator's wall-clock phase
+	// breakdown (setup, trace decode, coherence loop, finalize). Like a
+	// ProgressFunc it is execution plumbing, not run identity: it is
+	// excluded from JSON encoding and from content addresses, and a store
+	// hit returns without filling it (nothing was simulated).
+	Timing *Timing `json:"-"`
 }
+
+// Timing is the simulator's phase breakdown; see Options.Timing.
+type Timing = sim.Timing
 
 // Result is the outcome of one run, in plain exportable types.
 type Result struct {
@@ -289,6 +298,7 @@ func buildConfig(s Scheme, o Options) (*config.Config, sim.Options, error) {
 		OpsScale:        o.OpsScale,
 		CheckInvariants: o.CheckInvariants,
 		TrackRuns:       o.TrackRuns,
+		Timing:          o.Timing,
 	}
 	if def.apply != nil {
 		def.apply(s, cfg, &opt)
