@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// namedType resolves t (through pointers and aliases) to its defining
+// package path and type name; ok=false for unnamed types.
+func namedType(t types.Type) (pkgPath, name string, ok bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(t)
+			continue
+		case *types.Named:
+			obj := u.Obj()
+			if obj.Pkg() == nil {
+				return "", obj.Name(), true // universe (error)
+			}
+			return obj.Pkg().Path(), obj.Name(), true
+		default:
+			return "", "", false
+		}
+	}
+}
+
+// typeIs reports whether t names pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	p, n, ok := namedType(t)
+	return ok && p == pkgPath && n == name
+}
+
+// calleeOf resolves the function or method a call expression invokes;
+// nil for calls through function values, builtins and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// calleeIs reports whether call invokes the package-level function
+// pkgPath.name (not a method).
+func calleeIs(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeOf(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// methodOn reports whether call invokes a method with the given name
+// whose receiver type is pkgPath.recvName.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath, recvName, name string) bool {
+	f := calleeOf(info, call)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return typeIs(sig.Recv().Type(), pkgPath, recvName)
+}
+
+// recvTypeOf resolves the defining package path and type name of a
+// function declaration's receiver; ok=false for plain functions.
+func recvTypeOf(info *types.Info, fn *ast.FuncDecl) (pkgPath, name string, ok bool) {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return "", "", false
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return "", "", false
+	}
+	return namedType(t)
+}
+
+// jsonTag extracts the json key of a struct tag literal ("" when the tag
+// has no json key at all; "-" for the explicit exclusion).
+func jsonTag(tag string) (value string, present bool) {
+	return reflect.StructTag(tag).Lookup("json")
+}
+
+// structTagOf returns the raw tag string of field f ("" when absent).
+func structTagOf(f *ast.Field) string {
+	if f.Tag == nil {
+		return ""
+	}
+	// Tag literals include their surrounding backquotes.
+	return strings.Trim(f.Tag.Value, "`")
+}
+
+// fieldNames lists the declared names of a struct field (embedded fields
+// report their type name).
+func fieldNames(f *ast.Field) []string {
+	if len(f.Names) > 0 {
+		names := make([]string, len(f.Names))
+		for i, n := range f.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	// Embedded: the field name is the (possibly pointer-stripped) type name.
+	t := f.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return []string{e.Name}
+	case *ast.SelectorExpr:
+		return []string{e.Sel.Name}
+	}
+	return nil
+}
+
+// jsonTagOfField looks up the json tag of the named field on t (resolved
+// through pointers/aliases to its struct underlying type).
+func jsonTagOfField(t types.Type, field string) (value string, present bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(t)
+			continue
+		case *types.Named:
+			t = u.Underlying()
+			continue
+		}
+		break
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return jsonTag(st.Tag(i))
+		}
+	}
+	return "", false
+}
+
+// funcBodies yields every function body in f paired with a description
+// of its declaration: the enclosing FuncDecl for declared functions and
+// methods, nil for function literals.
+func funcBodies(f *ast.File, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(nil, d.Body)
+		}
+		return true
+	})
+}

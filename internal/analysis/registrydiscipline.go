@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// coherencePkg is the policy registry; schemesFile is its wire-level half
+// in the facade. Together they are the only places allowed to branch on
+// scheme identity — everywhere else must go through the registry, or the
+// next scheme lands as a switch-ladder edit in five layers again.
+const (
+	coherencePkg = "lard/internal/coherence"
+	facadePkg    = "lard"
+	schemesFile  = "schemes.go"
+)
+
+// descriptorRequired are the Descriptor fields every policy registration
+// must set: identity (Scheme id and wire Name are frozen into content
+// addresses), discoverability (Description feeds GET /v1/schemes), and
+// the constructor without which Register panics at init.
+var descriptorRequired = []string{"Scheme", "Name", "Description", "New"}
+
+// RegistryDisciplineAnalyzer enforces registry discipline: scheme
+// dispatch happens through the internal/coherence registry (plus the
+// facade's schemes.go), never through switch/if ladders elsewhere, and
+// every policy_*.go file self-registers a complete Descriptor in init.
+var RegistryDisciplineAnalyzer = &Analyzer{
+	Name: "registrydiscipline",
+	Doc: "no switch or if-ladder on scheme kind (coherence.Scheme values or Scheme.Kind strings) outside " +
+		"internal/coherence and schemes.go; every internal/coherence/policy_*.go registers a Descriptor " +
+		"with Scheme, Name, Description and New set, from an init function",
+	Run: runRegistryDiscipline,
+}
+
+func runRegistryDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		if pass.Pkg.Path() == coherencePkg {
+			base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+			if strings.HasPrefix(base, "policy_") && strings.HasSuffix(base, ".go") {
+				checkPolicyFile(pass, f, base)
+			}
+			continue // the registry itself may branch on schemes freely
+		}
+		if pass.Pkg.Path() == facadePkg &&
+			filepath.Base(pass.Fset.Position(f.Pos()).Filename) == schemesFile {
+			continue // the wire-level registry half
+		}
+		checkNoSchemeLadders(pass, f)
+	}
+	return nil
+}
+
+// checkNoSchemeLadders flags switch statements and if-condition equality
+// ladders that branch on scheme identity: a coherence.Scheme value or a
+// lard.Scheme Kind string.
+func checkNoSchemeLadders(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SwitchStmt:
+			if stmt.Tag != nil && isSchemeExpr(pass, stmt.Tag) {
+				pass.Reportf(stmt.Pos(),
+					"switch on scheme kind outside the policy registry: add the decision to the "+
+						"scheme's Descriptor/schemeDef in %s (or %s) instead of a switch ladder",
+					coherencePkg, schemesFile)
+				return true
+			}
+			// A tagless switch whose cases compare scheme identity is the
+			// same ladder in disguise.
+			if stmt.Tag == nil {
+				for _, clause := range stmt.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, cond := range cc.List {
+						if pos, ok := schemeComparison(pass, cond); ok {
+							reportLadder(pass, pos)
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if pos, ok := schemeComparison(pass, stmt.Cond); ok {
+				reportLadder(pass, pos)
+			}
+		}
+		return true
+	})
+}
+
+func reportLadder(pass *Pass, pos token.Pos) {
+	pass.Reportf(pos,
+		"comparison on scheme kind outside the policy registry: route the decision through the "+
+			"scheme's Descriptor/schemeDef in %s (or %s) so new schemes need no ladder edits",
+		coherencePkg, schemesFile)
+}
+
+// schemeComparison reports whether expr contains an ==/!= comparison
+// whose operand is scheme identity.
+func schemeComparison(pass *Pass, expr ast.Expr) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isSchemeExpr(pass, be.X) || isSchemeExpr(pass, be.Y) {
+			if !found {
+				pos, found = be.Pos(), true
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// isSchemeExpr reports whether e denotes scheme identity: a value of
+// type coherence.Scheme, or the Kind field of the facade's wire Scheme.
+func isSchemeExpr(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if t := pass.TypesInfo.TypeOf(e); t != nil && typeIs(t, coherencePkg, "Scheme") {
+		return true
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Kind" {
+		if t := pass.TypesInfo.TypeOf(sel.X); t != nil && typeIs(t, facadePkg, "Scheme") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPolicyFile requires a policy_*.go file to self-register: an init
+// function calling Register with a Descriptor literal that sets every
+// required field. Registration anywhere else (or with a computed
+// descriptor) hides the scheme table from both readers and this check.
+func checkPolicyFile(pass *Pass, f *ast.File, base string) {
+	registered := false
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != "init" || fn.Recv != nil || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !calleeIs(pass.TypesInfo, call, coherencePkg, "Register") {
+				return true
+			}
+			registered = true
+			checkDescriptorLiteral(pass, call)
+			return true
+		})
+	}
+	if !registered {
+		pass.Reportf(f.Pos(),
+			"%s does not register its scheme: every policy_*.go must call Register from an init "+
+				"function so the scheme table is complete at process start", base)
+	}
+}
+
+// checkDescriptorLiteral verifies the Register argument is a Descriptor
+// composite literal carrying the required fields.
+func checkDescriptorLiteral(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"Register argument must be a Descriptor literal: a computed descriptor hides the "+
+				"scheme's identity from readers and from this check")
+		return
+	}
+	set := map[string]bool{}
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+		}
+	}
+	for _, req := range descriptorRequired {
+		if !set[req] {
+			pass.Reportf(lit.Pos(),
+				"incomplete Descriptor: field %s must be set (Scheme and Name are frozen into "+
+					"content addresses, Description feeds discovery, New constructs the policy)", req)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowMarker introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// placed on the flagged line (trailing comment) or on the line directly
+// above it. The analyzer name must belong to the running suite and the
+// reason must be non-empty: a suppression that cannot say why it exists
+// is a diagnostic itself, so exceptions stay explicit and grep-able.
+const allowMarker = "//lint:allow"
+
+// allowKey addresses one suppressed (file, line, analyzer) cell.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans every comment of files for allow markers. It
+// returns the set of well-formed suppressions and one diagnostic per
+// malformed one (missing analyzer, unknown analyzer, or missing reason).
+func collectAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (map[allowKey]bool, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := make(map[allowKey]bool)
+	var malformed []Diagnostic
+	bad := func(pos token.Pos, msg string) {
+		malformed = append(malformed, Diagnostic{Analyzer: "suppress", Pos: pos, Message: msg})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowMarker)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //lint:allowfoo-style comment
+				}
+				// The directive ends at an embedded "//": anything after
+				// is commentary, not part of the reason.
+				rest, _, _ = strings.Cut(rest, "//")
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "lint:allow needs an analyzer name and a reason")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad(c.Pos(), "lint:allow names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					bad(c.Pos(), "lint:allow "+name+" needs a reason: unjustified suppressions are not allowed")
+					continue
+				}
+				p := fset.Position(c.Pos())
+				// The comment covers its own line and the next one, so
+				// both trailing and preceding placements work.
+				allows[allowKey{p.Filename, p.Line, name}] = true
+				allows[allowKey{p.Filename, p.Line + 1, name}] = true
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// filterSuppressed drops diagnostics covered by a well-formed allow.
+func filterSuppressed(fset *token.FileSet, diags []Diagnostic, allows map[allowKey]bool) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if allows[allowKey{p.Filename, p.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package app
+
+import "lard/internal/obs"
+
+type holder struct {
+	root *obs.Span
+}
+
+func traceDeferred(t *obs.Tracer) {
+	sp := t.StartTrace("run")
+	defer sp.End()
+	sp.Note("working")
+}
+
+func traceStraightLine(t *obs.Tracer) {
+	sp := t.StartTrace("run")
+	sp.Note("working")
+	sp.End()
+}
+
+func traceErrPath(t *obs.Tracer, fail bool) int {
+	sp := t.StartTrace("run")
+	if fail {
+		return 1 // want `span sp \(started at line \d+\) is not ended on this return path`
+	}
+	sp.End()
+	return 0
+}
+
+func traceNever(t *obs.Tracer) {
+	sp := t.StartTrace("run") // want `span sp is never ended`
+	sp.Note("leaked")
+}
+
+func traceChildErrPath(parent *obs.Span, fail bool) int {
+	child := parent.Child("phase")
+	if fail {
+		return 1 // want `span child \(started at line \d+\) is not ended on this return path`
+	}
+	child.End()
+	return 0
+}
+
+// traceEscapesField stores the span: its lifetime is managed by the
+// holder, not this function.
+func traceEscapesField(t *obs.Tracer, h *holder) {
+	sp := t.StartTrace("run")
+	h.root = sp
+}
+
+// traceEscapesReturn hands the open span to the caller.
+func traceEscapesReturn(t *obs.Tracer) *obs.Span {
+	sp := t.StartTrace("run")
+	return sp
+}
+
+// traceChildAt imports an already-ended span: nothing to close.
+func traceChildAt(parent *obs.Span) {
+	done := parent.ChildAt("imported")
+	done.Note("already ended")
+}

@@ -1,0 +1,23 @@
+package engine
+
+import "sync"
+
+type bus struct {
+	mu sync.Mutex
+	e  *Engine
+}
+
+// publish calling back into the Engine inverts the sanctioned
+// Engine.mu-then-bus.mu lock order.
+func (b *bus) publish(v int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.e.Stats() // want `bus method publish calls Engine method Stats`
+}
+
+// release touches only its own state: fine.
+func (b *bus) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.e = nil
+}

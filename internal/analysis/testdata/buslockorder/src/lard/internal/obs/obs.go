@@ -1,0 +1,14 @@
+package obs
+
+// Minimal shim of the real tracing API: StartTrace and Child hand back
+// open spans; ChildAt returns spans that are already ended.
+type Tracer struct{}
+
+func (t *Tracer) StartTrace(name string) *Span { return &Span{} }
+
+type Span struct{}
+
+func (s *Span) Child(name string) *Span   { return &Span{} }
+func (s *Span) ChildAt(name string) *Span { return &Span{} }
+func (s *Span) End()                      {}
+func (s *Span) Note(msg string)           {}

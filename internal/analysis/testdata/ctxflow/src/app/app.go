@@ -1,0 +1,39 @@
+package app
+
+import (
+	"context"
+	"net/http"
+)
+
+func dispatch(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want `context.Background\(\) in dispatch, which already receives a context.Context parameter`
+}
+
+func handler(w any, r *http.Request) {
+	_ = context.TODO() // want `context.TODO\(\) in handler, which already receives an \*http.Request`
+}
+
+// rootLoop has no context of its own: it is legitimately the root of a
+// new context tree.
+func rootLoop() {
+	_ = context.Background()
+}
+
+// launcher's goroutine deliberately detaches; the literal has no ctx
+// parameter, so it is its own root.
+func launcher(ctx context.Context) {
+	_ = ctx
+	go func() {
+		_ = context.Background()
+	}()
+}
+
+func relay(ctx context.Context, fn func(context.Context)) {
+	fn(ctx)
+	inner := func(c context.Context) {
+		_ = c
+		_ = context.Background() // want `context.Background\(\) in function literal, which already receives a context.Context parameter`
+	}
+	inner(ctx)
+}

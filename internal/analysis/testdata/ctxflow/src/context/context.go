@@ -1,0 +1,6 @@
+package context
+
+type Context interface{}
+
+func Background() Context { return nil }
+func TODO() Context       { return nil }

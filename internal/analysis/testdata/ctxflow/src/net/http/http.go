@@ -1,0 +1,7 @@
+package http
+
+import "context"
+
+type Request struct{}
+
+func (r *Request) Context() context.Context { return nil }

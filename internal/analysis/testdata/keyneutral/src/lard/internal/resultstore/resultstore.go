@@ -1,0 +1,39 @@
+package resultstore
+
+import "lard/internal/sim"
+
+// Spec is the canonical, content-addressed request form.
+type Spec struct {
+	Benchmark string      `json:"benchmark"`
+	Options   sim.Options `json:"options"`
+}
+
+// SpecFor canonicalizes a request. Writing to side channels (stripping)
+// is the point of this function; reading one is the PR-2 regression:
+// an execution-plumbing field steering what gets simulated under a key
+// that does not record it.
+func SpecFor(benchmark string, opt sim.Options) Spec {
+	opt.Progress = nil
+	opt.ProgressEvery = 0
+	if opt.Interrupt != nil { // want `json:"-" field Options.Interrupt read inside canonicalization function SpecFor`
+		opt.Seed = 0
+	}
+	opt.Interrupt = nil
+	return Spec{Benchmark: benchmark, Options: opt}
+}
+
+func encodeEntry(s Spec) string {
+	if s.Options.Progress != nil { // want `json:"-" field Options.Progress read inside canonicalization function encodeEntry`
+		return "with-progress"
+	}
+	return s.Benchmark
+}
+
+// describe is not a canonicalization function: reading side channels
+// here is fine.
+func describe(s Spec) string {
+	if s.Options.Progress != nil {
+		return s.Benchmark + " (with progress)"
+	}
+	return s.Benchmark
+}

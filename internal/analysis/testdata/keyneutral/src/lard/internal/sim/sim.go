@@ -1,0 +1,13 @@
+package sim
+
+// Options mirrors the real simulator options struct: a key-bearing
+// struct whose JSON encoding feeds content addresses.
+type Options struct {
+	Scheme        string                `json:"Scheme"`
+	ASRLevel      int                   `json:"ASRLevel"`
+	Seed          int64                 // want `field Seed of key-bearing struct lard/internal/sim.Options needs an explicit json tag`
+	CheckInv      bool                  `json:"CheckInvariants"`
+	Progress      func(done, total int) `json:"-"`
+	ProgressEvery int                   `json:"-"`
+	Interrupt     chan struct{}         `json:"-"`
+}

@@ -1,0 +1,22 @@
+package lard
+
+// Scheme is the wire-level scheme description.
+type Scheme struct {
+	Kind     string `json:"kind"`
+	Replicas int    // want `field Replicas of key-bearing struct lard.Scheme needs an explicit json tag`
+}
+
+// Options is the facade's key-bearing request struct.
+type Options struct {
+	Scheme Scheme       `json:"scheme"`
+	Trace  func(string) `json:"-"`
+}
+
+// KeyFor canonicalizes a request into its content address.
+func KeyFor(o Options) string {
+	if o.Trace != nil { // want `json:"-" field Options.Trace read inside canonicalization function KeyFor`
+		return "traced"
+	}
+	o.Trace = nil
+	return o.Scheme.Kind
+}

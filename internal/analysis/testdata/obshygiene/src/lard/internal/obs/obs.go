@@ -1,0 +1,7 @@
+package obs
+
+type HistogramVec struct{}
+
+func NewHistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	return &HistogramVec{}
+}

@@ -1,0 +1,8 @@
+package os
+
+type File struct{}
+
+var (
+	Stdout = &File{}
+	Stderr = &File{}
+)

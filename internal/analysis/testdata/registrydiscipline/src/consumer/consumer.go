@@ -1,0 +1,22 @@
+package consumer
+
+import "lard/internal/coherence"
+
+// pick is the ladder the analyzer exists to kill: a per-scheme decision
+// outside the registry that every new scheme must remember to extend.
+func pick(s coherence.Scheme) int {
+	switch s { // want `switch on scheme kind outside the policy registry`
+	case coherence.Baseline:
+		return 0
+	case coherence.LocalityAware:
+		return 1
+	}
+	if s == coherence.LocalityAware { // want `comparison on scheme kind outside the policy registry`
+		return 2
+	}
+	switch {
+	case s != coherence.Baseline: // want `comparison on scheme kind outside the policy registry`
+		return 3
+	}
+	return 4
+}

@@ -1,0 +1,7 @@
+package coherence
+
+var dyn = Descriptor{Scheme: LocalityAware, Name: "dyn", Description: "computed elsewhere", New: nil}
+
+func init() {
+	Register(dyn) // want `Register argument must be a Descriptor literal`
+}

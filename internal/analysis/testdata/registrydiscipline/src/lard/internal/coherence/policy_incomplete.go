@@ -1,0 +1,8 @@
+package coherence
+
+func init() {
+	Register(Descriptor{ // want `incomplete Descriptor: field Description must be set` `incomplete Descriptor: field New must be set`
+		Scheme: Baseline,
+		Name:   "base",
+	})
+}

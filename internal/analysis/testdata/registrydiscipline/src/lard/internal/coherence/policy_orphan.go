@@ -1,0 +1,5 @@
+package coherence // want `policy_orphan.go does not register its scheme`
+
+// orphanPolicy demonstrates a policy file that forgot to self-register:
+// the scheme table would silently lack it at process start.
+type orphanPolicy struct{}

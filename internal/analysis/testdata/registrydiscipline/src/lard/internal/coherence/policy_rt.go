@@ -1,0 +1,10 @@
+package coherence
+
+func init() {
+	Register(Descriptor{
+		Scheme:      LocalityAware,
+		Name:        "RT",
+		Description: "locality-aware replication with a per-line reuse threshold",
+		New:         func(e *Engine) Policy { return nil },
+	})
+}

@@ -1,0 +1,6 @@
+package lard
+
+// Scheme is the wire-level scheme description.
+type Scheme struct {
+	Kind string `json:"kind"`
+}

@@ -1,0 +1,10 @@
+package lard
+
+// wireLabel lives in schemes.go, the facade's registry half: branching
+// on Kind here is allowed.
+func wireLabel(s Scheme) string {
+	if s.Kind == "rt" {
+		return "locality-aware"
+	}
+	return s.Kind
+}

@@ -241,6 +241,16 @@ var (
 	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
 )
 
+// ValidMetricName reports whether name is a legal exposition-format
+// metric name. Exported so static analysis (lard-lint's obshygiene) can
+// enforce the exact same legality rule on literals at build time that
+// Lint enforces on rendered output at test time.
+func ValidMetricName(name string) bool { return metricNameRE.MatchString(name) }
+
+// ValidLabelName reports whether name is a legal label name; see
+// ValidMetricName for why it is exported.
+func ValidLabelName(name string) bool { return labelNameRE.MatchString(name) }
+
 // parseSample splits `name{labels} value` into parts. labels is the raw
 // text between the braces ("" when absent).
 func parseSample(raw string) (name, labels string, value float64, err error) {
