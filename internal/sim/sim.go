@@ -25,19 +25,25 @@ import (
 // therefore from every resultstore content address — two runs that differ
 // only in their observers are the same run) and must never change the
 // simulated outcome.
+//
+// Identity fields carry explicit json tags spelling their Go names: the
+// encoding predates the tags and existing content addresses are frozen,
+// so the tags pin today's byte-exact encoding rather than restyle it.
+// Every field must declare one side or the other; lard-lint's keyneutral
+// check rejects untagged additions.
 type Options struct {
 	// Scheme is the LLC management scheme.
-	Scheme coherence.Scheme
+	Scheme coherence.Scheme `json:"Scheme"`
 	// ASRLevel is ASR's replication probability level.
-	ASRLevel float64
+	ASRLevel float64 `json:"ASRLevel"`
 	// Seed drives workload generation and ASR's lottery.
-	Seed uint64
+	Seed uint64 `json:"Seed"`
 	// OpsScale scales per-core operation counts (1.0 = profile nominal).
-	OpsScale float64
+	OpsScale float64 `json:"OpsScale"`
 	// CheckInvariants enables the SWMR/inclusion checker.
-	CheckInvariants bool
+	CheckInvariants bool `json:"CheckInvariants"`
 	// TrackRuns enables the Figure-1 run-length tracker.
-	TrackRuns bool
+	TrackRuns bool `json:"TrackRuns"`
 	// Progress, when non-nil, is invoked every ProgressEvery executed
 	// memory operations with (operations retired, total operations), and
 	// once more at completion with done == total. A nil Progress costs
