@@ -88,12 +88,14 @@ func (d *Disk) Put(key string, val []byte) error {
 		return fmt.Errorf("store: disk %s: %w", d.name, err)
 	}
 	if _, err := tmp.Write(val); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		// Cleanup on an already-failing path: the write error is the one
+		// the caller acts on, so these discards are deliberate.
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("store: disk %s: write %s: %w", d.name, key, err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("store: disk %s: close %s: %w", d.name, key, err)
 	}
 	// Whether this put creates or overwrites decides the entry-count
@@ -104,7 +106,7 @@ func (d *Disk) Put(key string, val []byte) error {
 	d.puts++
 	_, statErr := os.Stat(path)
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("store: disk %s: commit %s: %w", d.name, key, err)
 	}
 	if os.IsNotExist(statErr) {
