@@ -57,9 +57,11 @@ func (r *Remote) Get(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("store: remote %s: get %s: %w", r.name, key, err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //lint:allow checkederr read-side close after the body is consumed is best-effort
 	if resp.StatusCode == http.StatusNotFound {
-		io.Copy(io.Discard, resp.Body)
+		// Drain so the transport can reuse the connection; a failed drain
+		// only costs keep-alive, never correctness.
+		_, _ = io.Copy(io.Discard, resp.Body)
 		r.count(&r.misses)
 		return nil, false, nil
 	}
@@ -89,8 +91,8 @@ func (r *Remote) Put(key string, val []byte) error {
 	if err != nil {
 		return fmt.Errorf("store: remote %s: put %s: %w", r.name, key, err)
 	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	defer resp.Body.Close()               //lint:allow checkederr read-side close after the body is consumed is best-effort
+	_, _ = io.Copy(io.Discard, resp.Body) // best-effort drain for connection reuse
 	if resp.StatusCode/100 != 2 {
 		return fmt.Errorf("store: remote %s: put %s: peer answered %s", r.name, key, resp.Status)
 	}
@@ -111,8 +113,8 @@ func (r *Remote) Delete(key string) error {
 	if err != nil {
 		return fmt.Errorf("store: remote %s: delete %s: %w", r.name, key, err)
 	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	defer resp.Body.Close()               //lint:allow checkederr read-side close after the body is consumed is best-effort
+	_, _ = io.Copy(io.Discard, resp.Body) // best-effort drain for connection reuse
 	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
 		return fmt.Errorf("store: remote %s: delete %s: peer answered %s", r.name, key, resp.Status)
 	}
@@ -126,7 +128,7 @@ func (r *Remote) Index() ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: remote %s: index: %w", r.name, err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //lint:allow checkederr read-side close after the body is consumed is best-effort
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("store: remote %s: index: peer answered %s", r.name, resp.Status)
 	}
