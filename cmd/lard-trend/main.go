@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lard-trend [-tolerance 10] OLD.json NEW.json
+//	lard-trend [-tolerance 10] [-alloc-tolerance 10] OLD.json NEW.json
 //	lard-trend [-tolerance 10] [-baseline FILE] DIR
 //
 // With two file arguments the first is the baseline. With a directory,
@@ -16,9 +16,11 @@
 // guard works from the very first commit instead of silently passing. Plain `go test -bench` text output is accepted too: any line
 // that is not a test2json event is scanned directly.
 //
-// Output is one row per benchmark with the ns/op delta. The exit status
-// is 1 when any benchmark slowed down by more than -tolerance percent,
-// so the tool drops straight into CI:
+// Output is one row per benchmark with the ns/op delta, plus — when both
+// artifacts carry -benchmem columns — an allocation table with the B/op
+// and allocs/op deltas. Timing regressions beyond -tolerance percent and
+// allocation regressions beyond -alloc-tolerance percent both exit 1, so
+// the tool drops straight into CI:
 //
 //	go run ./cmd/lard-trend -tolerance 15 BENCH_old.json BENCH_new.json
 package main
@@ -29,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -56,20 +59,44 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 // has split the name into the event's Test field: iterations, then ns/op.
 var timingLine = regexp.MustCompile(`^\d+\s+([0-9.]+(?:[eE][+-]?[0-9]+)?) ns/op`)
 
-// parseBench extracts {benchmark name -> ns/op} from r, which may be a
+// bytesCol and allocsCol match the -benchmem columns, which trail the
+// ns/op value (custom b.ReportMetric units may sit between them).
+var (
+	bytesCol  = regexp.MustCompile(`([0-9.]+(?:[eE][+-]?[0-9]+)?) B/op`)
+	allocsCol = regexp.MustCompile(`([0-9.]+(?:[eE][+-]?[0-9]+)?) allocs/op`)
+)
+
+// metrics is one benchmark's parsed result row.
+type metrics struct {
+	ns            float64
+	bytes, allocs float64
+	hasMem        bool // the row carried -benchmem columns
+}
+
+// parseBench extracts {benchmark name -> metrics} from r, which may be a
 // `go test -json` event stream, plain `go test -bench` text, or a mix.
 // test2json splits a result across events — the name rides in the Test
 // field while the Output holds only "  50\t 15236 ns/op" — so both the
 // combined plain-text shape and the split JSON shape are recognized. The
 // last value wins when a name repeats (e.g. -count > 1).
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := make(map[string]float64)
-	record := func(name, ns string) {
+func parseBench(r io.Reader) (map[string]metrics, error) {
+	out := make(map[string]metrics)
+	record := func(name, ns, line string) {
 		v, err := strconv.ParseFloat(ns, 64)
 		if err != nil {
 			return
 		}
-		out[procsSuffix.ReplaceAllString(name, "")] = v
+		m := metrics{ns: v}
+		bm := bytesCol.FindStringSubmatch(line)
+		am := allocsCol.FindStringSubmatch(line)
+		if bm != nil && am != nil {
+			b, errB := strconv.ParseFloat(bm[1], 64)
+			a, errA := strconv.ParseFloat(am[1], 64)
+			if errB == nil && errA == nil {
+				m.bytes, m.allocs, m.hasMem = b, a, true
+			}
+		}
+		out[procsSuffix.ReplaceAllString(name, "")] = m
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -87,10 +114,10 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		}
 		line = strings.TrimSpace(line)
 		if m := benchLine.FindStringSubmatch(line); m != nil {
-			record(m[1], m[2])
+			record(m[1], m[2], line)
 		} else if test != "" && strings.HasPrefix(test, "Benchmark") {
 			if m := timingLine.FindStringSubmatch(line); m != nil {
-				record(test, m[1])
+				record(test, m[1], line)
 			}
 		}
 	}
@@ -98,7 +125,7 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 }
 
 // parseBenchFile parses one artifact.
-func parseBenchFile(path string) (map[string]float64, error) {
+func parseBenchFile(path string) (map[string]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -114,25 +141,34 @@ func parseBenchFile(path string) (map[string]float64, error) {
 // delta is one benchmark's old/new comparison.
 type delta struct {
 	name     string
-	old, new float64
-	pct      float64 // (new-old)/old * 100; >0 = slower
+	old, new metrics
+	pct      float64 // ns/op: (new-old)/old * 100; >0 = slower
+}
+
+// growthPct is the percent increase of new over old. A baseline of zero is
+// special-cased: staying at zero is 0%, any growth from zero is +Inf (an
+// alloc-free benchmark that starts allocating must trip any tolerance).
+func growthPct(old, new float64) float64 {
+	if old > 0 {
+		return (new - old) / old * 100
+	}
+	if new > 0 {
+		return math.Inf(1)
+	}
+	return 0
 }
 
 // diff joins two parses. Benchmarks present on only one side are returned
 // separately — new benchmarks are not regressions, vanished ones are worth
 // a warning but not a failure.
-func diff(old, new map[string]float64) (both []delta, added, removed []string) {
+func diff(old, new map[string]metrics) (both []delta, added, removed []string) {
 	for name, nv := range new {
 		ov, ok := old[name]
 		if !ok {
 			added = append(added, name)
 			continue
 		}
-		d := delta{name: name, old: ov, new: nv}
-		if ov > 0 {
-			d.pct = (nv - ov) / ov * 100
-		}
-		both = append(both, d)
+		both = append(both, delta{name: name, old: ov, new: nv, pct: growthPct(ov.ns, nv.ns)})
 	}
 	for name := range old {
 		if _, ok := new[name]; !ok {
@@ -176,8 +212,10 @@ func latestTwoFallback(dir, fallback string) (string, string, error) {
 }
 
 // run is main minus os.Exit, for tests: it renders the comparison to w
-// and reports whether any regression exceeded tolerancePct.
-func run(w io.Writer, oldPath, newPath string, tolerancePct float64) (regressed bool, err error) {
+// and reports whether any timing regression exceeded tolerancePct or any
+// allocation regression (B/op or allocs/op, where both artifacts carry
+// -benchmem columns) exceeded allocTolerancePct.
+func run(w io.Writer, oldPath, newPath string, tolerancePct, allocTolerancePct float64) (regressed bool, err error) {
 	oldBench, err := parseBenchFile(oldPath)
 	if err != nil {
 		return false, err
@@ -196,28 +234,60 @@ func run(w io.Writer, oldPath, newPath string, tolerancePct float64) (regressed 
 	both, added, removed := diff(oldBench, newBench)
 	fmt.Fprintf(w, "baseline  %s\ncandidate %s\n\n", oldPath, newPath)
 	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	timingRegressed, allocRegressed := false, false
 	for _, d := range both {
 		flag := ""
 		if d.pct > tolerancePct {
 			flag = "  REGRESSION"
-			regressed = true
+			timingRegressed = true
 		}
-		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n", d.name, d.old, d.new, d.pct, flag)
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n", d.name, d.old.ns, d.new.ns, d.pct, flag)
 	}
 	for _, name := range added {
-		fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", name, "-", newBench[name], "new")
+		fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", name, "-", newBench[name].ns, "new")
 	}
 	for _, name := range removed {
-		fmt.Fprintf(w, "%-44s %14.0f %14s %9s\n", name, oldBench[name], "-", "gone")
+		fmt.Fprintf(w, "%-44s %14.0f %14s %9s\n", name, oldBench[name].ns, "-", "gone")
 	}
-	if regressed {
+
+	// Allocation table for pairs where both sides carried -benchmem rows.
+	var mem []delta
+	for _, d := range both {
+		if d.old.hasMem && d.new.hasMem {
+			mem = append(mem, d)
+		}
+	}
+	if len(mem) > 0 {
+		sort.Slice(mem, func(i, j int) bool {
+			return growthPct(mem[i].old.allocs, mem[i].new.allocs) > growthPct(mem[j].old.allocs, mem[j].new.allocs)
+		})
+		fmt.Fprintf(w, "\n%-44s %12s %12s %9s %14s %14s %9s\n",
+			"benchmark", "old allocs", "new allocs", "delta", "old B/op", "new B/op", "delta")
+		for _, d := range mem {
+			aPct := growthPct(d.old.allocs, d.new.allocs)
+			bPct := growthPct(d.old.bytes, d.new.bytes)
+			flag := ""
+			if aPct > allocTolerancePct || bPct > allocTolerancePct {
+				flag = "  ALLOC REGRESSION"
+				allocRegressed = true
+			}
+			fmt.Fprintf(w, "%-44s %12.0f %12.0f %+8.1f%% %14.0f %14.0f %+8.1f%%%s\n",
+				d.name, d.old.allocs, d.new.allocs, aPct, d.old.bytes, d.new.bytes, bPct, flag)
+		}
+	}
+
+	if timingRegressed {
 		fmt.Fprintf(w, "\nFAIL: at least one benchmark slowed by more than %.1f%%\n", tolerancePct)
 	}
-	return regressed, nil
+	if allocRegressed {
+		fmt.Fprintf(w, "\nFAIL: at least one benchmark's allocations grew by more than %.1f%%\n", allocTolerancePct)
+	}
+	return timingRegressed || allocRegressed, nil
 }
 
 func main() {
 	tolerance := flag.Float64("tolerance", 10, "max allowed slowdown in percent before exiting nonzero")
+	allocTolerance := flag.Float64("alloc-tolerance", 10, "max allowed allocs/op or B/op growth in percent before exiting nonzero")
 	baseline := flag.String("baseline", "", "seed baseline artifact, used in directory mode when only one BENCH_*.json exists")
 	flag.Parse()
 
@@ -239,10 +309,10 @@ func main() {
 	case 2:
 		oldPath, newPath = flag.Arg(0), flag.Arg(1)
 	default:
-		fatal(fmt.Errorf("usage: lard-trend [-tolerance PCT] OLD.json NEW.json | DIR"))
+		fatal(fmt.Errorf("usage: lard-trend [-tolerance PCT] [-alloc-tolerance PCT] OLD.json NEW.json | DIR"))
 	}
 
-	regressed, err := run(os.Stdout, oldPath, newPath, *tolerance)
+	regressed, err := run(os.Stdout, oldPath, newPath, *tolerance, *allocTolerance)
 	fatal(err)
 	if regressed {
 		os.Exit(1)

@@ -42,15 +42,18 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("parsed %v, want %v", got, want)
 	}
 	for k, v := range want {
-		if got[k] != v {
-			t.Errorf("%s = %v, want %v", k, got[k], v)
+		if got[k].ns != v {
+			t.Errorf("%s = %v, want %v", k, got[k].ns, v)
+		}
+		if got[k].hasMem {
+			t.Errorf("%s has mem columns, artifact carried none", k)
 		}
 	}
 
 	// Plain text (non-JSON) artifacts parse too.
 	plain := "BenchmarkShardedGet-16    500    2000 ns/op\n"
 	got, err = parseBench(strings.NewReader(plain))
-	if err != nil || got["BenchmarkShardedGet"] != 2000 {
+	if err != nil || got["BenchmarkShardedGet"].ns != 2000 {
 		t.Fatalf("plain parse = %v (%v)", got, err)
 	}
 
@@ -63,8 +66,80 @@ func TestParseBench(t *testing.T) {
 		`{"Action":"output","Output":"PASS\n"}`,
 	}, "\n")
 	got, err = parseBench(strings.NewReader(split))
-	if err != nil || got["BenchmarkShardedGet"] != 15236 {
+	if err != nil || got["BenchmarkShardedGet"].ns != 15236 {
 		t.Fatalf("split-event parse = %v (%v)", got, err)
+	}
+}
+
+// TestParseBenchMem: -benchmem columns are captured, including when a
+// custom b.ReportMetric unit sits between ns/op and B/op.
+func TestParseBenchMem(t *testing.T) {
+	art := jsonArtifact(
+		"BenchmarkCoherenceAccess-8 \\t 200000\\t 286.0 ns/op\\t 0 B/op\\t 0 allocs/op",
+		"BenchmarkEngineThroughput-8 \\t 3\\t 1.55e+08 ns/op\\t 3092160 accesses/s\\t 2121786 B/op\\t 10747 allocs/op",
+	)
+	got, err := parseBench(strings.NewReader(art))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := got["BenchmarkCoherenceAccess"]
+	if !ca.hasMem || ca.allocs != 0 || ca.bytes != 0 {
+		t.Fatalf("BenchmarkCoherenceAccess = %+v, want 0 B/op 0 allocs/op", ca)
+	}
+	et := got["BenchmarkEngineThroughput"]
+	if !et.hasMem || et.allocs != 10747 || et.bytes != 2121786 || et.ns != 1.55e8 {
+		t.Fatalf("BenchmarkEngineThroughput = %+v", et)
+	}
+}
+
+// TestAllocRegression: allocs/op growth beyond -alloc-tolerance fails even
+// when timing is flat, and growth from a zero baseline always fails.
+func TestAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "BENCH_old.json", jsonArtifact(
+		"BenchmarkCoherenceAccess-8 \\t 1000 \\t 300 ns/op\\t 0 B/op\\t 0 allocs/op",
+		"BenchmarkEngineThroughput-8 \\t 10 \\t 1000 ns/op\\t 1000 B/op\\t 100 allocs/op",
+	), 2*time.Hour)
+
+	// Flat timing, +50% allocations: the alloc gate alone must fail.
+	newP := write(t, dir, "BENCH_new.json", jsonArtifact(
+		"BenchmarkCoherenceAccess-8 \\t 1000 \\t 300 ns/op\\t 0 B/op\\t 0 allocs/op",
+		"BenchmarkEngineThroughput-8 \\t 10 \\t 1000 ns/op\\t 1500 B/op\\t 150 allocs/op",
+	), time.Hour)
+	var out strings.Builder
+	regressed, err := run(&out, oldP, newP, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(out.String(), "ALLOC REGRESSION") {
+		t.Fatalf("+50%% allocs at tolerance 10%% must regress:\n%s", out.String())
+	}
+	// A generous alloc tolerance passes the same pair.
+	out.Reset()
+	if regressed, err = run(&out, oldP, newP, 10, 60); err != nil || regressed {
+		t.Fatalf("alloc tolerance 60%% must pass (%v):\n%s", err, out.String())
+	}
+
+	// An alloc-free benchmark that starts allocating trips any tolerance.
+	zeroP := write(t, dir, "BENCH_zero.json", jsonArtifact(
+		"BenchmarkCoherenceAccess-8 \\t 1000 \\t 300 ns/op\\t 16 B/op\\t 1 allocs/op",
+		"BenchmarkEngineThroughput-8 \\t 10 \\t 1000 ns/op\\t 1000 B/op\\t 100 allocs/op",
+	), 0)
+	out.Reset()
+	if regressed, err = run(&out, oldP, zeroP, 10, 1e9); err != nil || !regressed {
+		t.Fatalf("0 -> 1 allocs/op must regress at any tolerance (%v):\n%s", err, out.String())
+	}
+
+	// Artifacts without -benchmem columns skip the alloc gate entirely.
+	bareOld := write(t, dir, "BENCH_bare1.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1000 ns/op",
+	), 2*time.Hour)
+	bareNew := write(t, dir, "BENCH_bare2.json", jsonArtifact(
+		"BenchmarkShardedGet-8 \\t 1000 \\t 1001 ns/op",
+	), time.Hour)
+	out.Reset()
+	if regressed, err = run(&out, bareOld, bareNew, 10, 0); err != nil || regressed {
+		t.Fatalf("artifacts without mem columns must not trip the alloc gate (%v):\n%s", err, out.String())
 	}
 }
 
@@ -95,7 +170,7 @@ func TestRunDetectsRegression(t *testing.T) {
 	), time.Hour)
 
 	var out strings.Builder
-	regressed, err := run(&out, oldP, newP, 10)
+	regressed, err := run(&out, oldP, newP, 10, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +186,7 @@ func TestRunDetectsRegression(t *testing.T) {
 
 	// The same pair passes at a generous tolerance.
 	out.Reset()
-	regressed, err = run(&out, oldP, newP, 50)
+	regressed, err = run(&out, oldP, newP, 50, 1e9)
 	if err != nil || regressed {
 		t.Fatalf("tolerance 50%% must pass (%v):\n%s", err, out.String())
 	}
@@ -132,7 +207,7 @@ func TestRunDetectsRegression(t *testing.T) {
 
 	// Artifacts without benchmarks are an error, not a silent pass.
 	empty := write(t, dir, "BENCH_empty.json", jsonArtifact("PASS"), 0)
-	if _, err := run(&out, empty, newP, 10); err == nil {
+	if _, err := run(&out, empty, newP, 10, 10); err == nil {
 		t.Fatal("empty baseline must error")
 	}
 }
@@ -159,7 +234,7 @@ func TestBaselineFallback(t *testing.T) {
 		t.Fatalf("fallback = %s, %s (%v)", o, n, err)
 	}
 	var out strings.Builder
-	regressed, err := run(&out, o, n, 10)
+	regressed, err := run(&out, o, n, 10, 1e9)
 	if err != nil || regressed {
 		t.Fatalf("+5%% within tolerance 10%% must pass (%v):\n%s", err, out.String())
 	}

@@ -1,6 +1,8 @@
 package coherence
 
 import (
+	"math/bits"
+
 	"lard/internal/config"
 	"lard/internal/mem"
 	"lard/internal/stats"
@@ -108,7 +110,7 @@ func (e *Engine) replicaLookup(c, rslice mem.CoreID, op Op, t mem.Cycles, res *A
 	replicaDirty := l.Dirty
 	sharedRO := !l.Meta.everWritten
 	l.Meta.replicaReuse = satReuse(l.Meta.replicaReuse, e.cfg.RT)
-	consumed := e.policy.ConsumeReplicaOnHit()
+	consumed := e.consumeOnHit
 	if consumed {
 		// Exclusive replica (VR-style): a hit moves the line into the L1 and
 		// invalidates the LLC copy (§4.1).
@@ -118,7 +120,7 @@ func (e *Engine) replicaLookup(c, rslice mem.CoreID, op Op, t mem.Cycles, res *A
 
 	l1State := state
 	fillDirty := replicaDirty && consumed // the move carries dirtiness
-	if e.policy.ClusterReplication() {
+	if e.clusterRepl {
 		// A cluster replica serves several cores' L1s; exclusivity lives at
 		// the replica, so member L1 copies are granted Shared, and a member
 		// write on a writable replica first back-invalidates its siblings
@@ -284,7 +286,7 @@ func (e *Engine) homeRead(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycles
 		return t
 	}
 
-	if replicate && e.policy.ClusterReplication() {
+	if replicate && e.clusterRepl {
 		// Cluster replication: data flows home -> replica slice -> L1, and
 		// the home registers the replica slice so invalidations reach the
 		// whole cluster hierarchy (§2.3.4). Member L1 copies are Shared;
@@ -377,7 +379,7 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 		return t
 	}
 
-	if replicate && e.policy.ClusterReplication() {
+	if replicate && e.clusterRepl {
 		tr := e.mesh.Send(home, rslice, flits, t)
 		tr += e.cfg.LLCDataLatency
 		e.insertReplica(rslice, la, mem.Modified, false, version, op.Class, true, tr)
@@ -402,13 +404,19 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 // core but only actual holders acknowledge (§2.1). It returns the time at
 // which all acknowledgements have arrived.
 func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent *dirEntry, t mem.Cycles, res *AccessResult) mem.Cycles {
-	var targets []mem.CoreID
+	// Fan-out targets go into the engine scratch buffer (capacity Cores, so
+	// no growth): ascending core order in both modes, exactly the order the
+	// sorted Sharers() slice used to produce — message order is part of the
+	// simulated outcome (the mesh's link reservations are stateful).
+	targets := e.fanout[:0]
 	if ent.Sharers.Overflowed() {
 		for i := 0; i < e.cfg.Cores; i++ {
 			targets = append(targets, mem.CoreID(i))
 		}
 	} else {
-		targets = ent.Sharers.Sharers()
+		for b := ent.Sharers.Bits(); b != 0; b &= b - 1 {
+			targets = append(targets, mem.CoreID(bits.TrailingZeros64(b)))
+		}
 	}
 	t0 := t
 	maxAck := t
@@ -440,8 +448,12 @@ func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent
 		ent.Sharers.Remove(s)
 	}
 	// Cluster replica slices (cluster size > 1): hierarchical invalidation
-	// of the replica and the cluster's L1 copies it serves (§2.3.4).
-	for _, rs := range append([]mem.CoreID(nil), ent.ReplicaSlices...) {
+	// of the replica and the cluster's L1 copies it serves (§2.3.4). The
+	// loop walks an order-preserving snapshot in the engine scratch buffer:
+	// RemoveReplicaSlice swap-deletes mid-iteration, and iterating the live
+	// slice would visit the slices in a different (outcome-changing) order.
+	rsl := append(e.rsnap[:0], ent.ReplicaSlices...)
+	for _, rs := range rsl {
 		tp := e.mesh.Send(home, rs, e.ctrlFlits(), t)
 		tp += e.cfg.LLCTagLatency
 		inv := e.invalidateClusterReplica(rs, la, writer)
@@ -494,7 +506,7 @@ func (e *Engine) invalidateAt(s mem.CoreID, la mem.LineAddr) invResult {
 		r.dirty = r.dirty || rem.Dirty
 		e.chargeL1(false, true)
 	}
-	if e.policy.ClusterReplication() {
+	if e.clusterRepl {
 		// Cluster replicas are registered at the home and invalidated
 		// hierarchically via invalidateClusterReplica; the per-sharer probe
 		// must not remove them behind the home's back.
@@ -568,20 +580,26 @@ func (e *Engine) downgradeAt(s mem.CoreID, la mem.LineAddr) bool {
 		l.Dirty = false
 		e.chargeL1(false, true)
 	}
-	slices := []mem.CoreID{s}
-	if e.policy.ClusterReplication() {
+	dirty = e.downgradeReplicaAt(s, la) || dirty
+	if e.clusterRepl {
 		if rs := e.policy.ReplicaSlice(la, s); rs != s {
-			slices = append(slices, rs)
+			dirty = e.downgradeReplicaAt(rs, la) || dirty
 		}
 	}
-	for _, sl := range slices {
-		if l := e.tiles[sl].llc.Lookup(la); l != nil && !l.Meta.home {
-			dirty = dirty || l.Dirty
-			l.State = mem.Shared
-			l.Dirty = false
-			e.chargeLLCTag(true)
-		}
+	return dirty
+}
+
+// downgradeReplicaAt demotes the replica copy of la at slice sl (if any) to
+// Shared and reports whether it was dirty.
+func (e *Engine) downgradeReplicaAt(sl mem.CoreID, la mem.LineAddr) bool {
+	l := e.tiles[sl].llc.Lookup(la)
+	if l == nil || l.Meta.home {
+		return false
 	}
+	dirty := l.Dirty
+	l.State = mem.Shared
+	l.Dirty = false
+	e.chargeLLCTag(true)
 	return dirty
 }
 

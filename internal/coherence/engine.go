@@ -52,11 +52,17 @@ type Engine struct {
 	opts   Options
 	scheme Scheme
 
-	// policy holds the scheme's decision points; usesReplicas and
-	// rnucaPlacement cache the descriptor traits consulted on hot paths.
-	policy         Policy
-	usesReplicas   bool
-	rnucaPlacement bool
+	// policy holds the scheme's decision points. The booleans cache the
+	// descriptor and policy traits consulted on hot paths: every one is
+	// constant for the engine's lifetime (the policy derives them from the
+	// validated Config), so the steady-state access path reads a struct
+	// flag instead of re-entering the Policy interface per access.
+	policy           Policy
+	usesReplicas     bool
+	rnucaPlacement   bool
+	instrClusterHome bool
+	clusterRepl      bool
+	consumeOnHit     bool
 
 	tiles []*tile
 	mesh  *network.Mesh
@@ -67,6 +73,17 @@ type Engine struct {
 
 	clfParams core.Params
 	busy      map[busyKey]mem.Cycles
+
+	// Hot-path scratch and free lists. fanout and rsnap are reusable
+	// iteration buffers for the invalidation fan-outs (sized to Cores at
+	// construction, so steady-state fan-out allocates nothing); entFree and
+	// clfFree recycle directory entries and locality classifiers, whose
+	// only death point is disposeHome — after it returns no reference to
+	// the entry survives, so reuse is safe.
+	fanout  []mem.CoreID
+	rsnap   []mem.CoreID
+	entFree []*dirEntry
+	clfFree []coreClassifier
 
 	runs    *runTracker
 	rehomed uint64 // page reclassification flushes, for stats
@@ -122,6 +139,11 @@ func New(cfg *config.Config, opts Options) *Engine {
 	e.policy = desc.New(e)
 	e.usesReplicas = desc.UsesReplicas
 	e.rnucaPlacement = desc.RNUCAPlacement
+	e.instrClusterHome = e.policy.InstrClusterHome()
+	e.clusterRepl = e.policy.ClusterReplication()
+	e.consumeOnHit = e.policy.ConsumeReplicaOnHit()
+	e.fanout = make([]mem.CoreID, 0, cfg.Cores)
+	e.rsnap = make([]mem.CoreID, 0, cfg.Cores)
 	e.tiles = make([]*tile, cfg.Cores)
 	for i := range e.tiles {
 		e.tiles[i] = &tile{
@@ -267,7 +289,7 @@ func (e *Engine) homeOfLine(la mem.LineAddr, c mem.CoreID) mem.CoreID {
 		panic(fmt.Sprintf("coherence: no page record for cached line %#x", uint64(la)))
 	}
 	switch {
-	case info.class == pageInstr && e.policy.InstrClusterHome():
+	case info.class == pageInstr && e.instrClusterHome:
 		return e.instrHome(la, c)
 	case info.class == pagePrivate:
 		return info.owner

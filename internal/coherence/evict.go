@@ -1,12 +1,15 @@
 package coherence
 
 import (
-	"lard/internal/directory"
+	"math/bits"
+
 	"lard/internal/mem"
 )
 
 // insertHomeLine allocates the home copy (with a fresh directory entry) at
 // the home slice after an off-chip fill, disposing of the displaced victim.
+// The dispose runs first, so an entry recycled from the victim can serve
+// the incoming line immediately.
 func (e *Engine) insertHomeLine(home mem.CoreID, op Op, t mem.Cycles) *cacheLine {
 	tl := e.tiles[home]
 	ins, victim, evicted := tl.llc.Insert(op.Line, mem.Shared, e.llcVictim(tl))
@@ -15,7 +18,7 @@ func (e *Engine) insertHomeLine(home mem.CoreID, op Op, t mem.Cycles) *cacheLine
 	}
 	ins.Meta = llcMeta{
 		home:  true,
-		dir:   directory.NewEntry(e.cfg.AckwisePointers),
+		dir:   e.newDirEntry(),
 		class: op.Class,
 	}
 	return ins
@@ -85,13 +88,18 @@ func (e *Engine) disposeHome(slice mem.CoreID, victim cacheLine, t mem.Cycles) {
 	ent := victim.Meta.dir
 	dirty := victim.Dirty
 
-	var targets []mem.CoreID
+	// Same alloc-free fan-out as invalidateSharers: engine scratch buffer,
+	// ascending core order in both modes (the order the sorted Sharers()
+	// slice used to produce).
+	targets := e.fanout[:0]
 	if ent.Sharers.Overflowed() {
 		for i := 0; i < e.cfg.Cores; i++ {
 			targets = append(targets, mem.CoreID(i))
 		}
 	} else {
-		targets = ent.Sharers.Sharers()
+		for b := ent.Sharers.Bits(); b != 0; b &= b - 1 {
+			targets = append(targets, mem.CoreID(bits.TrailingZeros64(b)))
+		}
 	}
 	for _, s := range targets {
 		wasSharer := ent.Sharers.Has(s)
@@ -125,6 +133,9 @@ func (e *Engine) disposeHome(slice mem.CoreID, victim cacheLine, t mem.Cycles) {
 		arr := e.mesh.Send(slice, e.dram.TileOf(ctrl), e.dataFlits(), t)
 		e.dram.Access(ctrl, arr)
 	}
+	// The entry is dead: nothing references it past this point (the home
+	// line holding it was invalidated before disposeHome was called).
+	e.recycleEntry(ent)
 }
 
 // replicaEvicted retires an evicted replica line: the local L1 copies are
@@ -138,7 +149,7 @@ func (e *Engine) replicaEvicted(slice mem.CoreID, victim cacheLine, t mem.Cycles
 	dirty := victim.Dirty
 
 	// Back-invalidate the L1 copies served by this replica.
-	if e.policy.ClusterReplication() {
+	if e.clusterRepl {
 		base := (int(slice) / e.cfg.ClusterSize) * e.cfg.ClusterSize
 		for i := 0; i < e.cfg.ClusterSize; i++ {
 			mt := e.tiles[base+i]
@@ -187,7 +198,7 @@ func (e *Engine) replicaEvicted(slice mem.CoreID, victim cacheLine, t mem.Cycles
 		hl.Dirty = true
 		e.chargeLLCData(true)
 	}
-	if e.policy.ClusterReplication() {
+	if e.clusterRepl {
 		ent.RemoveReplicaSlice(slice)
 		e.policy.OnClusterReplicaGone(ent, slice, victim.Meta.replicaReuse, false)
 	} else {

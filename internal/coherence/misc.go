@@ -29,12 +29,46 @@ func satReuse(v uint8, rt int) uint8 {
 
 // classifierOf returns (lazily creating) the locality classifier attached to
 // a directory entry. Every line starts in the Initial state of Figure 3:
-// all cores in non-replica mode.
+// all cores in non-replica mode — a recycled classifier was Reset to exactly
+// that state when its previous entry died, so pool hits and fresh
+// allocations are indistinguishable.
 func (e *Engine) classifierOf(ent *dirEntry) coreClassifier {
 	if ent.Classifier == nil {
-		ent.Classifier = core.New(e.clfParams)
+		if n := len(e.clfFree); n > 0 {
+			ent.Classifier = e.clfFree[n-1]
+			e.clfFree = e.clfFree[:n-1]
+		} else {
+			ent.Classifier = core.New(e.clfParams)
+		}
 	}
 	return ent.Classifier.(coreClassifier)
+}
+
+// newDirEntry returns a directory entry for a fresh home fill, recycled
+// from the free list when one is available. A pooled entry was Reset on
+// recycle, so it is indistinguishable from directory.NewEntry's result.
+func (e *Engine) newDirEntry() *dirEntry {
+	if n := len(e.entFree); n > 0 {
+		ent := e.entFree[n-1]
+		e.entFree = e.entFree[:n-1]
+		return ent
+	}
+	return directory.NewEntry(e.cfg.AckwisePointers)
+}
+
+// recycleEntry returns a dead home entry — and the locality classifier it
+// carried — to the engine free lists. Only disposeHome may call it: that is
+// the single point where a directory entry leaves the simulated machine,
+// and after it returns no live reference to the entry remains (home lines
+// are the only holders of entry pointers, and the holder was just
+// invalidated).
+func (e *Engine) recycleEntry(ent *dirEntry) {
+	if clf, ok := ent.Classifier.(coreClassifier); ok {
+		clf.Reset()
+		e.clfFree = append(e.clfFree, clf)
+	}
+	ent.Reset(e.cfg.AckwisePointers)
+	e.entFree = append(e.entFree, ent)
 }
 
 // demoteCluster applies a replica-loss classifier event to every core of the

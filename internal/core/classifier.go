@@ -77,6 +77,12 @@ type Classifier interface {
 
 	// Tracked reports whether core c currently has a dedicated entry.
 	Tracked(c mem.CoreID) bool
+
+	// Reset returns the classifier to the Initial state of Figure 3 (all
+	// cores in non-replica mode, no reuse), making it indistinguishable
+	// from a freshly constructed one — which lets an engine recycle
+	// classifiers of dead directory entries instead of allocating.
+	Reset()
 }
 
 // New returns a classifier for one cache line according to p: Complete when

@@ -82,6 +82,16 @@ func (k *complete) ModeOf(c mem.CoreID) bool { return k.modes.get(int(c)) }
 // Tracked implements Classifier: the Complete classifier tracks every core.
 func (k *complete) Tracked(mem.CoreID) bool { return true }
 
+// Reset implements Classifier.
+func (k *complete) Reset() {
+	for i := range k.modes {
+		k.modes[i] = 0
+	}
+	for i := range k.reuse {
+		k.reuse[i] = 0
+	}
+}
+
 // bitset is a fixed-size bit vector.
 type bitset []uint64
 

@@ -158,3 +158,10 @@ func (k *limited) ModeOf(c mem.CoreID) bool {
 
 // Tracked implements Classifier.
 func (k *limited) Tracked(c mem.CoreID) bool { return k.find(c) != nil }
+
+// Reset implements Classifier.
+func (k *limited) Reset() {
+	for i := range k.entries {
+		k.entries[i] = limEntry{}
+	}
+}

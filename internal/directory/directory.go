@@ -12,7 +12,20 @@
 // internal/core.
 package directory
 
-import "lard/internal/mem"
+import (
+	"fmt"
+	"math/bits"
+
+	"lard/internal/mem"
+)
+
+// MaxCores is the largest core count the sharer bitset can track. The
+// simulated machine presets top out at 64 tiles (the paper's target), which
+// lets membership live in one machine word: Has/Add/Remove are single bit
+// operations and iteration is allocation-free, where the previous
+// representation paid a pointer-slice scan in precise mode and a heap map in
+// broadcast mode.
+const MaxCores = 64
 
 // SharerSet tracks the cores whose local cache hierarchy (L1 caches plus, in
 // replication schemes, the local LLC slice) may hold a copy of a line.
@@ -22,13 +35,14 @@ import "lard/internal/mem"
 // exactly like ACKwise-p: invalidations are broadcast to every core, and the
 // known count tells the home how many acknowledgements to expect. p == 0
 // selects a full-map directory (always precise).
+//
+// Membership is a 64-bit set in both modes (the simulator stays functionally
+// precise after overflow; timing/energy still pay broadcast), so core ids
+// must be below MaxCores.
 type SharerSet struct {
 	p        int
-	ptrs     []mem.CoreID
+	bits     uint64
 	overflow bool
-	count    int
-	full     map[mem.CoreID]struct{} // used when overflow (to keep the
-	// simulator functionally precise; timing/energy still pay broadcast)
 }
 
 // NewSharerSet returns a sharer set with p ACKwise pointers, or a full-map
@@ -41,109 +55,69 @@ func NewSharerSet(p int) SharerSet {
 func (s *SharerSet) Pointers() int { return s.p }
 
 // Count returns the number of sharers.
-func (s *SharerSet) Count() int { return s.count }
+func (s *SharerSet) Count() int { return bits.OnesCount64(s.bits) }
 
 // Overflowed reports whether the set is in broadcast mode.
 func (s *SharerSet) Overflowed() bool { return s.overflow }
 
 // Has reports whether core c is a sharer. In broadcast mode the simulator
-// still answers precisely (see the full map) so functional behaviour is
-// exact; hardware would conservatively probe everyone, which is what the
-// timing model charges.
+// still answers precisely (the bitset keeps exact membership) so functional
+// behaviour is exact; hardware would conservatively probe everyone, which is
+// what the timing model charges.
 func (s *SharerSet) Has(c mem.CoreID) bool {
-	if s.overflow {
-		_, ok := s.full[c]
-		return ok
-	}
-	for _, p := range s.ptrs {
-		if p == c {
-			return true
-		}
-	}
-	return false
+	return s.bits&(1<<uint(c)) != 0
 }
 
 // Add inserts core c. Adding a present core is a no-op.
 func (s *SharerSet) Add(c mem.CoreID) {
-	if s.Has(c) {
+	if c < 0 || c >= MaxCores {
+		panic(fmt.Sprintf("directory: core id %d outside the %d-core sharer bitset", c, MaxCores))
+	}
+	m := uint64(1) << uint(c)
+	if s.bits&m != 0 {
 		return
 	}
-	if s.overflow {
-		s.full[c] = struct{}{}
-		s.count++
-		return
+	// Pointer overflow: a p-pointer set switches to broadcast mode when a
+	// new sharer arrives with all p pointers occupied. Sticky, as in
+	// hardware.
+	if !s.overflow && s.p != 0 && bits.OnesCount64(s.bits) >= s.p {
+		s.overflow = true
 	}
-	if s.p == 0 || len(s.ptrs) < s.p {
-		s.ptrs = append(s.ptrs, c)
-		s.count++
-		return
-	}
-	// Pointer overflow: switch to broadcast mode, preserving membership in
-	// the precise shadow map.
-	s.overflow = true
-	s.full = make(map[mem.CoreID]struct{}, s.count+1)
-	for _, p := range s.ptrs {
-		s.full[p] = struct{}{}
-	}
-	s.ptrs = s.ptrs[:0]
-	s.full[c] = struct{}{}
-	s.count++
+	s.bits |= m
 }
 
 // Remove deletes core c if present. When a broadcast-mode set drains to at
 // most p sharers it stays in broadcast mode (hardware cannot recover the
-// identities); the simulator keeps the precise shadow map for functional
+// identities); the simulator keeps precise membership for functional
 // behaviour only.
 func (s *SharerSet) Remove(c mem.CoreID) {
-	if s.overflow {
-		if _, ok := s.full[c]; ok {
-			delete(s.full, c)
-			s.count--
-		}
-		return
-	}
-	for i, p := range s.ptrs {
-		if p == c {
-			s.ptrs[i] = s.ptrs[len(s.ptrs)-1]
-			s.ptrs = s.ptrs[:len(s.ptrs)-1]
-			s.count--
-			return
-		}
-	}
+	s.bits &^= 1 << uint(c)
 }
 
-// ForEach calls fn for every sharer, in unspecified order.
+// Bits returns the membership bitset (bit c set = core c is a sharer).
+// Callers iterate a snapshot of it to fan out without allocating; ascending
+// bit order matches the sorted order Sharers returns.
+func (s *SharerSet) Bits() uint64 { return s.bits }
+
+// ForEach calls fn for every sharer, in ascending core order.
 func (s *SharerSet) ForEach(fn func(c mem.CoreID)) {
-	if s.overflow {
-		for c := range s.full {
-			fn(c)
-		}
-		return
-	}
-	for _, c := range s.ptrs {
-		fn(c)
+	for b := s.bits; b != 0; b &= b - 1 {
+		fn(mem.CoreID(bits.TrailingZeros64(b)))
 	}
 }
 
-// Sharers returns the sharers as a fresh slice sorted ascending (the sort
-// keeps the simulator deterministic when iterating broadcast-mode maps).
+// Sharers returns the sharers as a fresh slice sorted ascending. Hot paths
+// iterate Bits instead; this remains for tests and diagnostics.
 func (s *SharerSet) Sharers() []mem.CoreID {
-	out := make([]mem.CoreID, 0, s.count)
+	out := make([]mem.CoreID, 0, s.Count())
 	s.ForEach(func(c mem.CoreID) { out = append(out, c) })
-	for i := 1; i < len(out); i++ { // insertion sort; sets are tiny
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
 	return out
 }
 
 // Clear empties the set.
 func (s *SharerSet) Clear() {
-	s.ptrs = s.ptrs[:0]
+	s.bits = 0
 	s.overflow = false
-	s.count = 0
-	s.full = nil
 }
 
 // Entry is the directory state attached to a home LLC line.
@@ -172,6 +146,18 @@ type Entry struct {
 // NewEntry returns an entry with an ACKwise-p sharer set.
 func NewEntry(p int) *Entry {
 	return &Entry{Sharers: NewSharerSet(p)}
+}
+
+// Reset returns the entry to its NewEntry(p) state, retaining the
+// ReplicaSlices capacity. It exists so an engine can recycle dead entries
+// through a free list instead of allocating one per off-chip fill.
+func (e *Entry) Reset(p int) {
+	e.Sharers = NewSharerSet(p)
+	e.Owner = 0
+	e.HasOwner = false
+	e.ReplicaSlices = e.ReplicaSlices[:0]
+	e.Classifier = nil
+	e.Version = 0
 }
 
 // SetOwner records c as the E/M owner.

@@ -292,6 +292,10 @@ func Run(base Base, bench string, v Variant) (*sim.Result, error) {
 
 // runAutoASR evaluates the five ASR replication levels and returns the run
 // with the lowest energy-delay product, as the paper's methodology does.
+// The levels are independent simulations (distinct engines, no shared
+// mutable state), so they run concurrently; the pick itself stays a
+// sequential index-ordered scan, preserving the earliest-level tie-break of
+// the original loop.
 func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
 	cfg, err := base.config()
 	if err != nil {
@@ -303,9 +307,30 @@ func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", prof.Name, v.Label, err)
 	}
-	var best *sim.Result
-	bestEDP := 0.0
 	levels := uint64(len(ASRLevels))
+
+	// The member's progress spans the five level evaluations. Levels now
+	// advance concurrently, so the member fraction is the mutex-guarded sum
+	// of per-level done counts — monotonic even though per-level reports
+	// interleave arbitrarily.
+	var pmu sync.Mutex
+	doneByLevel := make([]uint64, len(ASRLevels))
+	observe := func(lvl int, done, total uint64) {
+		pmu.Lock()
+		defer pmu.Unlock()
+		doneByLevel[lvl] = done
+		var sum uint64
+		for _, d := range doneByLevel {
+			sum += d
+		}
+		// Reported under pmu so the observer stays serialized even for
+		// standalone runs, where report calls it directly.
+		base.report(prof.Name, v.Label, sum, levels*total, false)
+	}
+
+	results := make([]*sim.Result, len(ASRLevels))
+	errs := make([]error, len(ASRLevels))
+	var wg sync.WaitGroup
 	for i, level := range ASRLevels {
 		opt := sim.Options{
 			Scheme:    coherence.ASR,
@@ -315,17 +340,24 @@ func runAutoASR(base Base, prof trace.Profile, v Variant) (*sim.Result, error) {
 			TrackRuns: v.TrackRuns,
 		}
 		if base.Progress != nil {
-			// The member spans the five ASR level evaluations: scale each
-			// level's fraction into its fifth of the member.
-			lvl := uint64(i)
-			opt.Progress = func(done, total uint64) {
-				base.report(prof.Name, v.Label, lvl*total+done, levels*total, false)
-			}
+			lvl := i
+			opt.Progress = func(done, total uint64) { observe(lvl, done, total) }
 		}
-		res, err := base.simulate(cfg, prof, opt)
+		wg.Add(1)
+		go func(i int, opt sim.Options) {
+			defer wg.Done()
+			results[i], errs[i] = base.simulate(cfg, prof, opt)
+		}(i, opt)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var best *sim.Result
+	bestEDP := 0.0
+	for _, res := range results {
 		edp := res.EnergyTotal() * float64(res.CompletionTime)
 		if best == nil || edp < bestEDP {
 			best, bestEDP = res, edp

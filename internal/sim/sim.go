@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 
 	"lard/internal/coherence"
@@ -117,26 +116,55 @@ func (r *Result) EnergyTotal() float64 {
 	return t
 }
 
-// event is one schedulable core step.
-type event struct {
-	t    mem.Cycles
-	core mem.CoreID
+// sched is the event scheduler. The simulated cores are the only event
+// sources and each has at most one pending wake-up, so the general
+// container/heap priority queue this loop used to run was overkill — and
+// its interface-typed Push/Pop boxed one allocation per simulated
+// operation onto the hot path (~98% of the simulator's allocations). The
+// concrete replacement keeps one next-wake time per core and selects the
+// minimum with an ascending linear scan: for the supported core counts
+// (≤64) that is a few cache lines, allocation-free, and free of virtual
+// Less/Swap dispatch. The event order is bit-identical to the heap's: the
+// heap ordered events by (time, then core id), and a strict-< scan in
+// ascending core order realizes exactly that total order.
+type sched struct {
+	next   []mem.Cycles // per-core next wake time; schedIdle = no event
+	active int          // number of cores with a pending wake-up
 }
 
-// eventHeap is a deterministic min-heap (time, then core id).
-type eventHeap []event
+// schedIdle marks a core with no pending event. Real wake times grow by
+// bounded per-operation latencies from zero and can never reach it.
+const schedIdle = ^mem.Cycles(0)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// opChunk is the per-core trace window, in operations: large enough to
+// amortize the refill call, small enough that 64 cores' windows stay
+// cache-resident next to the simulator's own state.
+const opChunk = 256
+
+// newSched returns a scheduler with all n cores pending at time 0.
+func newSched(n int) *sched {
+	return &sched{next: make([]mem.Cycles, n), active: n}
+}
+
+// pop removes and returns the earliest pending (time, core) pair, lowest
+// core id on ties. Only valid while active > 0.
+func (s *sched) pop() (mem.Cycles, mem.CoreID) {
+	best, t := 0, s.next[0]
+	for i := 1; i < len(s.next); i++ {
+		if s.next[i] < t {
+			best, t = i, s.next[i]
+		}
 	}
-	return h[i].core < h[j].core
+	s.next[best] = schedIdle
+	s.active--
+	return t, mem.CoreID(best)
 }
-func (h eventHeap) Swap(i, j int)                    { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)                      { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any                        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h *eventHeap) push(t mem.Cycles, c mem.CoreID) { heap.Push(h, event{t, c}) }
+
+// push schedules core c's next wake-up at time t.
+func (s *sched) push(t mem.Cycles, c mem.CoreID) {
+	s.next[c] = t
+	s.active++
+}
 
 // Run simulates profile p on configuration cfg and returns the aggregated
 // result. Runs are deterministic for fixed inputs. When opt.Interrupt
@@ -179,7 +207,7 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 
 	n := cfg.Cores
 	var (
-		h          eventHeap
+		sch        = newSched(n)
 		breakdown  = make([]stats.TimeBreakdown, n)
 		miss       = make([]stats.MissCounts, n)
 		finish     = make([]mem.Cycles, n)
@@ -190,13 +218,19 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 		totalOps   uint64
 		completion mem.Cycles
 	)
-	for c := 0; c < n; c++ {
-		h.push(0, mem.CoreID(c))
-	}
+
+	// Per-core chunk buffers: each stream refills a reusable window of
+	// opChunk operations, so the steady-state loop reads the next operation
+	// from a flat slice instead of paying a generator call per access. One
+	// backing array serves all cores; pos==cnt marks an empty window.
+	bufs := make([]trace.Op, n*opChunk)
+	pos := make([]int, n)
+	cnt := make([]int, n)
 
 	// Progress/interrupt cadence: checkEvery stays 0 when neither observer
 	// is wired, so the steady-state cost of this feature is one integer
-	// compare per operation.
+	// compare per operation. Remaining() is exact here — the chunk windows
+	// above are filled lazily, after this count.
 	var checkEvery, targetOps uint64
 	if opt.Progress != nil || opt.Interrupt != nil {
 		checkEvery = opt.ProgressEvery
@@ -208,31 +242,35 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 		}
 	}
 
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(event)
-		c := ev.core
-		op, ok := w.Streams[c].Next()
-		if !ok {
-			finish[c] = ev.t
+	for sch.active > 0 {
+		now, c := sch.pop()
+		if pos[c] == cnt[c] {
+			cnt[c] = w.Streams[c].Fill(bufs[int(c)*opChunk : (int(c)+1)*opChunk])
+			pos[c] = 0
+		}
+		if cnt[c] == 0 {
+			finish[c] = now
 			running--
-			completion = max(completion, ev.t)
+			completion = max(completion, now)
 			// A finished core can no longer reach a barrier; if everyone
 			// else is already waiting, release them.
 			if waiting > 0 && waiting == running {
-				releaseBarrier(&h, atBarrier, arriveAt, breakdown, &waiting)
+				releaseBarrier(sch, atBarrier, arriveAt, breakdown, &waiting)
 			}
 			continue
 		}
+		op := &bufs[int(c)*opChunk+pos[c]]
+		pos[c]++
 		if op.Barrier {
 			atBarrier[c] = true
-			arriveAt[c] = ev.t
+			arriveAt[c] = now
 			waiting++
 			if waiting == running {
-				releaseBarrier(&h, atBarrier, arriveAt, breakdown, &waiting)
+				releaseBarrier(sch, atBarrier, arriveAt, breakdown, &waiting)
 			}
 			continue
 		}
-		t := ev.t + mem.Cycles(op.Gap)
+		t := now + mem.Cycles(op.Gap)
 		breakdown[c][stats.Compute] += mem.Cycles(op.Gap)
 		res := eng.Access(c, t, coherence.Op{
 			Type:  op.Type,
@@ -258,7 +296,7 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 				opt.Progress(totalOps, targetOps)
 			}
 		}
-		h.push(res.Done, c)
+		sch.push(res.Done, c)
 	}
 	lap(&tm.CoherenceLoop)
 
@@ -294,7 +332,7 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 
 // releaseBarrier wakes every parked core at the latest arrival time,
 // charging the wait to the Synchronization component.
-func releaseBarrier(h *eventHeap, atBarrier []bool, arriveAt []mem.Cycles, breakdown []stats.TimeBreakdown, waiting *int) {
+func releaseBarrier(sch *sched, atBarrier []bool, arriveAt []mem.Cycles, breakdown []stats.TimeBreakdown, waiting *int) {
 	var tmax mem.Cycles
 	for c := range atBarrier {
 		if atBarrier[c] {
@@ -305,7 +343,7 @@ func releaseBarrier(h *eventHeap, atBarrier []bool, arriveAt []mem.Cycles, break
 		if atBarrier[c] {
 			breakdown[c][stats.Synchronization] += tmax - arriveAt[c]
 			atBarrier[c] = false
-			h.push(tmax, mem.CoreID(c))
+			sch.push(tmax, mem.CoreID(c))
 		}
 	}
 	*waiting = 0

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"testing"
+
+	"lard/internal/config"
+)
+
+// BenchmarkTraceGen measures per-op trace generation cost through the
+// chunked Fill API the simulator uses (one Op buffer reused across refills,
+// so steady-state generation is alloc-free).
+func BenchmarkTraceGen(b *testing.B) {
+	cfg := config.Small()
+	p, err := ProfileByName("BARNES")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]Op, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		w := Generate(p, cfg, 1.0, 42)
+		for _, s := range w.Streams {
+			for n < b.N {
+				got := s.Fill(buf)
+				if got == 0 {
+					break
+				}
+				n += got
+			}
+		}
+	}
+}

@@ -153,6 +153,24 @@ func Generate(p Profile, cfg *config.Config, opsScale float64, seed uint64) *Wor
 // produce (barriers excluded).
 func (s *Stream) Remaining() int { return s.total - s.emitted }
 
+// Fill writes the stream's next operations into dst and returns how many it
+// produced; 0 means the stream is exhausted. Semantics are exactly those of
+// len(dst) successive Next calls — Fill exists so a consumer can refill a
+// reusable chunk buffer and iterate a flat []Op instead of paying a method
+// call per access on its hot loop.
+func (s *Stream) Fill(dst []Op) int {
+	n := 0
+	for n < len(dst) {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[n] = op
+		n++
+	}
+	return n
+}
+
 // Core returns the stream's core.
 func (s *Stream) Core() mem.CoreID { return s.core }
 
