@@ -18,6 +18,7 @@ import (
 	"lard"
 	"lard/internal/harness"
 	"lard/internal/mem"
+	"lard/internal/obs"
 	"lard/internal/sim"
 	"lard/internal/stats"
 )
@@ -250,6 +251,26 @@ func BenchmarkFig7MemberTraced(b *testing.B) {
 	if total := tm.Total(); total > 0 {
 		b.ReportMetric(float64(tm.CoherenceLoop)/float64(total), "coherence-loop-share")
 	}
+}
+
+// BenchmarkFig7MemberTelemetry wires the epoch flight recorder — the full
+// per-run cost of the telemetry side channel. Compare its ns/op against
+// BenchmarkFig7MemberUntraced: sampling happens only at the checkEvery
+// cadence into preallocated rows, so the acceptance bar for the overhead
+// is < 5% with bounded allocations (the recorder itself plus its fixed
+// sample matrix). It also reports epochs recorded per run, pinning the
+// decimation arithmetic to a visible number.
+func BenchmarkFig7MemberTelemetry(b *testing.B) {
+	var epochs float64
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder(0)
+		if _, err := lard.Run("BARNES", lard.LocalityAware(3),
+			lard.Options{Cores: 16, OpsScale: 0.5, Telemetry: rec}); err != nil {
+			b.Fatal(err)
+		}
+		epochs = float64(rec.Epochs())
+	}
+	b.ReportMetric(epochs, "epochs/run")
 }
 
 func itoa(v int) string {

@@ -4,7 +4,7 @@
 //
 //	lard-bench [-fig all|1|6|7|8|9|10|lru|oracle|headline] [-cores 64|16|4]
 //	           [-scale 1.0] [-seed 0] [-breakdown BENCH] [-store DIR]
-//	           [-store-shards N] [-remote URL] [-waterfall]
+//	           [-store-shards N] [-remote URL] [-waterfall] [-timeline]
 //
 // With -store, every simulation is cached in a content-addressed result
 // store: re-running a figure (or regenerating a different figure that
@@ -20,7 +20,11 @@
 // HTTP. Adding -waterfall (against a server started with -trace) follows
 // the tables with each member's phase-timing waterfall — queue wait, the
 // simulator's setup / trace-decode / coherence-loop / finalize breakdown,
-// and the store write — pulled from GET /v1/runs/{id}/trace.
+// and the store write — pulled from GET /v1/runs/{id}/trace. Adding
+// -timeline (against a server started with -telemetry) follows the tables
+// with each member's epoch timeline: sparklines of the headline coherence
+// series plus a warmup/steady/tail phase summary, pulled from
+// GET /v1/runs/{id}/timeline.
 //
 // Each figure prints an aligned text table; EXPERIMENTS.md records the
 // paper-vs-measured comparison produced by this tool.
@@ -51,6 +55,7 @@ func main() {
 		storeShards = flag.Int("store-shards", 1, "consistent-hashed disk shards under the store directory")
 		remote      = flag.String("remote", "", "lard-server URL: submit the figure as one campaign instead of simulating locally")
 		waterfall   = flag.Bool("waterfall", false, "with -remote against a tracing server: print each member's phase-timing waterfall")
+		timeline    = flag.Bool("timeline", false, "with -remote against a telemetry server: print each member's epoch-timeline sparklines")
 	)
 	flag.Parse()
 	base := harness.Base{Cores: *cores, OpsScale: *scale, Seed: *seed, Parallelism: *par}
@@ -72,11 +77,14 @@ func main() {
 			Schemes:    lard.FigureSchemes(),
 			Options:    lard.Options{Cores: *cores, OpsScale: *scale, Seed: *seed},
 		}
-		fatal(remoteFigure(*remote, *fig, spec, *waterfall))
+		fatal(remoteFigure(*remote, *fig, spec, *waterfall, *timeline))
 		return
 	}
 	if *waterfall {
 		fatal(fmt.Errorf("-waterfall requires -remote (phase timings come from the server's trace endpoint)"))
+	}
+	if *timeline {
+		fatal(fmt.Errorf("-timeline requires -remote (epoch timelines come from the server's timeline endpoint)"))
 	}
 	if *storeDir == "" && *storeShards > 1 {
 		fatal(fmt.Errorf("-store-shards requires -store"))

@@ -7,8 +7,8 @@
 //	lard-server [-addr :8347] [-store DIR] [-workers N] [-queue N]
 //	            [-max-entries N] [-shards N] [-peer URL]
 //	            [-replicate-threshold N] [-replica-capacity N]
-//	            [-trace] [-max-traces N] [-log-level LEVEL]
-//	            [-debug-addr ADDR]
+//	            [-trace] [-max-traces N] [-telemetry] [-max-timelines N]
+//	            [-log-level LEVEL] [-debug-addr ADDR]
 //
 // Observability:
 //
@@ -16,6 +16,10 @@
 //	             queued -> simulating with the simulator's phase
 //	             breakdown -> stored), served by GET /v1/runs/{id}/trace
 //	             and carried as span ids on the SSE event streams.
+//	-telemetry   records an epoch-resolved timeline per run (coherence
+//	             counter deltas, cycle components), served by
+//	             GET /v1/runs/{id}/timeline and streamed live as epoch
+//	             frames on the SSE event streams.
 //	-log-level   debug|info|warn|error structured logging (log/slog,
 //	             stderr). Run, campaign and span ids ride every record.
 //	-debug-addr  serves net/http/pprof on a second, private listener
@@ -74,6 +78,8 @@ func main() {
 		replCap    = flag.Int("replica-capacity", 4096, "local replica bound, LRU-demoted beyond it (0 = unbounded)")
 		trace      = flag.Bool("trace", false, "record a span tree per run, served by GET /v1/runs/{id}/trace")
 		maxTraces  = flag.Int("max-traces", 0, "bound on retained traces, oldest-finished evicted beyond it (0 = default 4096)")
+		telemetry  = flag.Bool("telemetry", false, "record an epoch timeline per run, served by GET /v1/runs/{id}/timeline")
+		maxTimel   = flag.Int("max-timelines", 0, "bound on retained timelines, oldest-finished evicted beyond it (0 = default 256)")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 		debugAddr  = flag.String("debug-addr", "", "private listener for net/http/pprof (empty = disabled)")
 	)
@@ -84,6 +90,9 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level, "lard-server")
 	if *maxTraces != 0 && !*trace {
 		fatal(fmt.Errorf("-max-traces requires -trace (there is no trace registry to bound)"))
+	}
+	if *maxTimel != 0 && !*telemetry {
+		fatal(fmt.Errorf("-max-timelines requires -telemetry (there is no timeline registry to bound)"))
 	}
 
 	// Silent misconfiguration guard (the PR-2 discipline): a flag that
@@ -110,7 +119,7 @@ func main() {
 	})
 	fatal(err)
 	defer st.Close()
-	ob := obs.New(obs.Options{Tracing: *trace, MaxTraces: *maxTraces, Log: logger})
+	ob := obs.New(obs.Options{Tracing: *trace, MaxTraces: *maxTraces, Telemetry: *telemetry, MaxTimelines: *maxTimel, Log: logger})
 	svc, err := server.New(server.Config{Store: st, Workers: *workers, QueueDepth: *queue, Obs: ob})
 	fatal(err)
 	svc.Start()
@@ -143,7 +152,7 @@ func main() {
 	if *peer != "" {
 		topology += fmt.Sprintf(", replicating from peer %s (threshold %d)", *peer, *replThresh)
 	}
-	logger.Info("listening", "addr", *addr, "store", *storeDir, "topology", topology, "tracing", *trace, "level", level.String())
+	logger.Info("listening", "addr", *addr, "store", *storeDir, "topology", topology, "tracing", *trace, "telemetry", *telemetry, "level", level.String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

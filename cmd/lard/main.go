@@ -6,6 +6,11 @@
 //
 //	lard -bench BARNES -scheme RT -rt 3 [-k 3] [-cluster 1] [-cores 64]
 //	     [-scale 1.0] [-seed 0] [-asr 1.0] [-lru] [-oracle] [-runs]
+//	     [-timeline-out FILE]
+//
+// -timeline-out attaches an epoch-resolved flight recorder to the run and
+// dumps the timeline — one CSV row per epoch, one column per counter
+// series — to FILE ("-" for stdout) when the run completes.
 //
 // The scheme kinds come from the replication-policy registry (-schemes
 // lists them with their tunables); each scheme consumes only the flags its
@@ -20,6 +25,7 @@ import (
 	"strings"
 
 	"lard"
+	"lard/internal/obs"
 )
 
 func main() {
@@ -38,6 +44,7 @@ func main() {
 		runs    = flag.Bool("runs", false, "collect the Figure-1 run-length distribution")
 		list    = flag.Bool("list", false, "list benchmark names and exit")
 		schemes = flag.Bool("schemes", false, "list registered schemes with their tunables and exit")
+		tlOut   = flag.String("timeline-out", "", "dump the run's epoch timeline as CSV to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -59,12 +66,22 @@ func main() {
 
 	s := lard.Scheme{Kind: *scheme, RT: *rt, ClassifierK: *k, ClusterSize: *cluster,
 		ASRLevel: *asr, PlainLRU: *lru, LookupOracle: *oracle}
-	res, err := lard.Run(*bench, s, lard.Options{
-		Cores: *cores, OpsScale: *scale, Seed: *seed, TrackRuns: *runs,
-	})
+	opt := lard.Options{Cores: *cores, OpsScale: *scale, Seed: *seed, TrackRuns: *runs}
+	var rec *obs.Recorder
+	if *tlOut != "" {
+		rec = obs.NewRecorder(0)
+		opt.Telemetry = rec
+	}
+	res, err := lard.Run(*bench, s, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lard:", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		if err := dumpTimeline(rec, *tlOut); err != nil {
+			fmt.Fprintln(os.Stderr, "lard:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%s on %s (%d cores, %d memory references)\n",
@@ -84,6 +101,24 @@ func main() {
 		fmt.Println("\nFigure-1 run-length shares (class bucket -> fraction of LLC accesses):")
 		printSorted(res.RunLengthShares, func(v float64) string { return fmt.Sprintf("%.3f", v) })
 	}
+}
+
+// dumpTimeline writes the recorder's epoch timeline as CSV to path
+// ("-" = stdout).
+func dumpTimeline(rec *obs.Recorder, path string) error {
+	view := rec.Snapshot()
+	if path == "-" {
+		return view.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := view.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printSorted prints a map with stable key order.

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/token"
+	"go/types"
 	"strconv"
 	"strings"
 
@@ -30,11 +31,16 @@ const internalPrefix = "lard/internal/"
 //     labels, and — when bounds are written inline — finite constants in
 //     strictly ascending order, so the constructor's runtime panic can
 //     never fire from a literal call site.
+//   - obs.SeriesDef literals carry a legal literal name
+//     (obs.ValidLabelName): a timeline series name becomes a JSON key on
+//     GET /v1/runs/{id}/timeline and a CSV column header, so it obeys the
+//     same identifier rule as a metric label.
 var ObsHygieneAnalyzer = &Analyzer{
 	Name: "obshygiene",
 	Doc: "internal packages log via slog only (no fmt.Print*/log.Print*, no Fprint to os.Stdout/Stderr); " +
 		"\"lard_\"-prefixed string literals must be legal metric names per obs.ValidMetricName; " +
-		"literal histogram bounds must be finite and strictly ascending",
+		"literal histogram bounds must be finite and strictly ascending; " +
+		"literal obs.SeriesDef names must be legal label names per obs.ValidLabelName",
 	Run: runObsHygiene,
 }
 
@@ -51,6 +57,8 @@ func runObsHygiene(pass *Pass) error {
 					checkNoPrinting(pass, node)
 				}
 				checkHistogramCall(pass, node)
+			case *ast.CompositeLit:
+				checkSeriesDefLit(pass, node)
 			case *ast.BasicLit:
 				if internal {
 					checkMetricLiteral(pass, node)
@@ -167,6 +175,46 @@ func checkHistogramCall(pass *Pass, call *ast.CallExpr) {
 					"NewHistogramVec at init", v, prev)
 		}
 		prev, havePrev = v, true
+	}
+}
+
+// checkSeriesDefLit validates literal telemetry series declarations
+// (obs.SeriesDef{Name: ...}). The name becomes a JSON key on the
+// timeline endpoint and a CSV column header, so it must satisfy the
+// metric-label identifier rule — caught here at the literal, before a
+// timeline is ever served.
+func checkSeriesDefLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "SeriesDef" || obj.Pkg() == nil || obj.Pkg().Path() != obsPkg {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var value ast.Expr
+		switch e := elt.(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := e.Key.(*ast.Ident); !ok || key.Name != "Name" {
+				continue
+			}
+			value = e.Value
+		default:
+			if i != 0 { // positional: Name is the first field
+				continue
+			}
+			value = elt
+		}
+		if name, ok := stringConst(pass, value); ok && !obs.ValidLabelName(name) {
+			pass.Reportf(value.Pos(),
+				"series name %q is not a legal series name (obs.ValidLabelName): timeline series "+
+					"become JSON keys and CSV columns and match [a-zA-Z_][a-zA-Z0-9_]*", name)
+		}
 	}
 }
 

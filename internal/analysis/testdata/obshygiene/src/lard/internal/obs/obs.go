@@ -5,3 +5,15 @@ type HistogramVec struct{}
 func NewHistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
 	return &HistogramVec{}
 }
+
+type SeriesKind uint8
+
+const (
+	Counter SeriesKind = iota
+	Gauge
+)
+
+type SeriesDef struct {
+	Name string
+	Kind SeriesKind
+}

@@ -33,3 +33,13 @@ func metrics() {
 		[]float64{0.2, 0.1}, // want `histogram bounds must be strictly ascending`
 	)
 }
+
+var series = []obs.SeriesDef{
+	{Name: "ops", Kind: obs.Counter},
+	{Name: "miss offchip", Kind: obs.Counter}, // want `series name "miss offchip" is not a legal series name`
+	{"replica-hits", obs.Gauge},               // want `series name "replica-hits" is not a legal series name`
+}
+
+func dynamicSeries(n string) obs.SeriesDef {
+	return obs.SeriesDef{Name: n} // fine: not a literal, validated at runtime use
+}

@@ -263,6 +263,9 @@ func (e *Engine) homeRead(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycles
 	// physically created when the replica slice is not the home itself.
 	rslice := e.policy.ReplicaSlice(la, c)
 	replicate := e.policy.ReplicateOnRead(ent, c) && home != c && rslice != home
+	if replicate {
+		e.clfPromotions++
+	}
 
 	// Grant Exclusive when the requester will be the only holder.
 	grant := mem.Shared
@@ -341,6 +344,7 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 			}
 			wtl.llc.Invalidate(la)
 			e.chargeLLCTag(true)
+			e.clfDemotions++
 			e.policy.OnReplicaGone(ent, c, reuse, true)
 		}
 	}
@@ -361,6 +365,9 @@ func (e *Engine) homeWrite(c, home mem.CoreID, op Op, hl *cacheLine, t mem.Cycle
 
 	rslice := e.policy.ReplicaSlice(la, c)
 	replicate := e.policy.ReplicateOnWrite(ent, c, soleSharer) && home != c && rslice != home
+	if replicate {
+		e.clfPromotions++
+	}
 	version := ent.Version
 
 	// Upgrade replies (writer already holds an S copy) carry no data.
@@ -443,6 +450,7 @@ func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent
 		back := e.mesh.Send(s, home, flits, tp)
 		maxAck = max(maxAck, back)
 		if inv.hadReplica {
+			e.clfDemotions++
 			e.policy.OnReplicaGone(ent, s, inv.replicaReuse, true)
 		}
 		ent.Sharers.Remove(s)
@@ -467,6 +475,7 @@ func (e *Engine) invalidateSharers(writer, home mem.CoreID, la mem.LineAddr, ent
 		back := e.mesh.Send(rs, home, flits, tp)
 		maxAck = max(maxAck, back)
 		if inv.hadReplica {
+			e.clfDemotions++
 			e.policy.OnClusterReplicaGone(ent, rs, inv.replicaReuse, true)
 		}
 		ent.RemoveReplicaSlice(rs)

@@ -7,6 +7,7 @@ import (
 	"lard/internal/cache"
 	"lard/internal/config"
 	"lard/internal/core"
+	"lard/internal/directory"
 	"lard/internal/dram"
 	"lard/internal/energy"
 	"lard/internal/mem"
@@ -93,6 +94,14 @@ type Engine struct {
 	replicaHits    [mem.NumDataClasses]uint64
 	replicaEvicts  uint64
 	replicaInvals  uint64
+
+	// Epoch-telemetry counters: classifier mode transitions and directory
+	// population. Plain uint64 increments on paths the engine already
+	// executes — read only at epoch boundaries (see Telemetry), and free
+	// when telemetry is off.
+	clfPromotions uint64
+	clfDemotions  uint64
+	dirOcc        directory.Occupancy
 }
 
 // Mesh returns the engine's interconnect model (diagnostics).
@@ -171,6 +180,50 @@ func (e *Engine) Scheme() Scheme { return e.scheme }
 // PageReclassifications returns the number of R-NUCA private->shared page
 // transitions that required flushing the old owner's slice.
 func (e *Engine) PageReclassifications() uint64 { return e.rehomed }
+
+// Telemetry is a snapshot of the engine's cumulative epoch-telemetry
+// counters. All values except DirectoryEntries (a level) are
+// monotonically non-decreasing, so the simulator can difference
+// successive snapshots into per-epoch deltas.
+type Telemetry struct {
+	// ReplicaHits counts accesses served by an LLC replica.
+	ReplicaHits uint64
+	// Replications counts replica insertions into LLC slices.
+	Replications uint64
+	// ReplicaEvictions counts replicas displaced by LLC replacement.
+	ReplicaEvictions uint64
+	// Invalidations counts replicas killed by coherence invalidations.
+	Invalidations uint64
+	// ClassifierPromotions counts classifier decisions to replicate
+	// (non-replica -> replica mode transitions observed at the home).
+	ClassifierPromotions uint64
+	// ClassifierDemotions counts replica-loss events fed back to the
+	// classifier (evictions and invalidations reported via OnReplicaGone).
+	ClassifierDemotions uint64
+	// DirectoryEntries is the live in-cache directory population.
+	DirectoryEntries uint64
+}
+
+// Telemetry snapshots the engine's telemetry counters. It is cheap (a
+// handful of loads) and intended to be called at epoch boundaries only;
+// the counters themselves cost one integer increment on paths the
+// engine already executes, so the hot path stays allocation-free.
+func (e *Engine) Telemetry() Telemetry {
+	t := Telemetry{
+		ReplicaEvictions:     e.replicaEvicts,
+		Invalidations:        e.replicaInvals,
+		ClassifierPromotions: e.clfPromotions,
+		ClassifierDemotions:  e.clfDemotions,
+		DirectoryEntries:     e.dirOcc.Live(),
+	}
+	for _, h := range e.replicaHits {
+		t.ReplicaHits += h
+	}
+	for _, i := range e.replicaInserts {
+		t.Replications += i
+	}
+	return t
+}
 
 // ---- energy helpers -------------------------------------------------------
 

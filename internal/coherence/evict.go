@@ -200,6 +200,7 @@ func (e *Engine) replicaEvicted(slice mem.CoreID, victim cacheLine, t mem.Cycles
 	}
 	if e.clusterRepl {
 		ent.RemoveReplicaSlice(slice)
+		e.clfDemotions++
 		e.policy.OnClusterReplicaGone(ent, slice, victim.Meta.replicaReuse, false)
 	} else {
 		// With the keep-L1 strategy the core remains a sharer while its L1
@@ -211,6 +212,7 @@ func (e *Engine) replicaEvicted(slice mem.CoreID, victim cacheLine, t mem.Cycles
 				ent.ClearOwner()
 			}
 		}
+		e.clfDemotions++
 		e.policy.OnReplicaGone(ent, slice, victim.Meta.replicaReuse, false)
 	}
 	e.chargeDir(true)

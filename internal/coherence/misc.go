@@ -48,6 +48,7 @@ func (e *Engine) classifierOf(ent *dirEntry) coreClassifier {
 // from the free list when one is available. A pooled entry was Reset on
 // recycle, so it is indistinguishable from directory.NewEntry's result.
 func (e *Engine) newDirEntry() *dirEntry {
+	e.dirOcc.Inc()
 	if n := len(e.entFree); n > 0 {
 		ent := e.entFree[n-1]
 		e.entFree = e.entFree[:n-1]
@@ -63,6 +64,7 @@ func (e *Engine) newDirEntry() *dirEntry {
 // are the only holders of entry pointers, and the holder was just
 // invalidated).
 func (e *Engine) recycleEntry(ent *dirEntry) {
+	e.dirOcc.Dec()
 	if clf, ok := ent.Classifier.(coreClassifier); ok {
 		clf.Reset()
 		e.clfFree = append(e.clfFree, clf)

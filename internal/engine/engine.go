@@ -334,6 +334,14 @@ func (e *Engine) worker(lane int) {
 		if simSpan != nil {
 			opts.Timing = &tm
 		}
+		// When telemetry is on, attach a flight recorder the same way:
+		// through the options copy, never the keyed request. Epoch frames
+		// flow onto the run's event topic as they commit.
+		if e.obs.Timelines.Enabled() {
+			rec := e.obs.Timelines.Attach(j.id)
+			rec.OnEpoch(func(f obs.EpochFrame) { e.publishEpoch(j, f) })
+			opts.Telemetry = rec
+		}
 		progress := func(done, total uint64) { e.reportProgress(j, done, total) }
 		callStart := time.Now()
 		res, cached, err := e.run(ctx, e.store, j.req.Benchmark, j.req.Scheme, opts, progress)
@@ -780,6 +788,26 @@ func (e *Engine) Obs() *obs.Observer { return e.obs }
 // or the trace has been evicted from the bounded registry.
 func (e *Engine) Trace(id string) (obs.TraceView, bool) {
 	return e.obs.Tracer.Tree(id)
+}
+
+// Timeline returns the epoch-resolved telemetry recorded for the run
+// with the given id. ok=false when telemetry is disabled or the timeline
+// has been evicted from the bounded registry.
+func (e *Engine) Timeline(id string) (obs.TimelineView, bool) {
+	return e.obs.Timelines.View(id)
+}
+
+// publishEpoch publishes one committed telemetry epoch frame on the
+// run's topic (and its campaigns'). It is called from the simulator's
+// run loop, via the recorder's epoch callback, outside any recorder
+// lock.
+func (e *Engine) publishEpoch(j *job, f obs.EpochFrame) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if j.status != StatusRunning {
+		return
+	}
+	e.publishJobLocked(j, Event{State: StatusRunning, Progress: j.progress, Epoch: &f})
 }
 
 // Stats is the engine's point-in-time operational snapshot.

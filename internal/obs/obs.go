@@ -42,6 +42,9 @@ type Observer struct {
 	// Tracer records per-run span trees; nil disables tracing (every
 	// call site stays valid — Tracer methods are nil-receiver safe).
 	Tracer *Tracer
+	// Timelines records per-run epoch telemetry; nil disables it with
+	// the same nil-receiver contract as Tracer.
+	Timelines *Timelines
 	// Log is the process logger; never nil.
 	Log *slog.Logger
 
@@ -68,6 +71,10 @@ type Options struct {
 	Tracing bool
 	// MaxTraces bounds the tracer's trace registry (default 4096).
 	MaxTraces int
+	// Telemetry enables the per-run epoch timeline registry.
+	Telemetry bool
+	// MaxTimelines bounds the timeline registry (default 256).
+	MaxTimelines int
 	// Log is the process logger (default: a discard logger — commands
 	// pass NewLogger to log for real, tests stay silent).
 	Log *slog.Logger
@@ -101,6 +108,9 @@ func New(o Options) *Observer {
 	}
 	if o.Tracing {
 		obs.Tracer = NewTracer(o.MaxTraces)
+	}
+	if o.Telemetry {
+		obs.Timelines = NewTimelines(o.MaxTimelines)
 	}
 	return obs
 }

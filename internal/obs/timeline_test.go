@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoSeries is the minimal def set covering both fold semantics.
+var twoSeries = []SeriesDef{
+	{Name: "ops", Kind: Counter},
+	{Name: "level", Kind: Gauge},
+}
+
+// TestRecorderDecimationConservation is the recorder's core property: for
+// ANY number of samples, the retained timeline holds at most capacity
+// epochs, the spans account for every raw sample, counter sums are
+// conserved exactly (decimation folds by addition), and a gauge reports
+// the epoch's latest level.
+func TestRecorderDecimationConservation(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 15, 16, 17, 31, 32, 33, 100, 255, 256, 257, 1000, 4097} {
+		rec := NewRecorder(16)
+		rec.Start(twoSeries)
+		var cum, lastGauge uint64
+		for i := 1; i <= n; i++ {
+			cum += uint64(i%17 + 1) // deterministic, nonuniform increments
+			lastGauge = uint64(i % 23)
+			rec.Sample([]uint64{cum, lastGauge})
+		}
+		rec.Flush()
+		v := rec.Snapshot()
+
+		if !v.Finished {
+			t.Fatalf("n=%d: not finished after Flush", n)
+		}
+		if v.Epochs < 1 || v.Epochs > 16 {
+			t.Fatalf("n=%d: epochs = %d, want 1..16", n, v.Epochs)
+		}
+		if v.Samples != uint64(n) {
+			t.Fatalf("n=%d: samples = %d", n, v.Samples)
+		}
+		var spanSum uint64
+		for _, s := range v.Spans {
+			spanSum += s
+		}
+		if spanSum != uint64(n) {
+			t.Fatalf("n=%d: spans sum to %d, want %d (no sample may vanish)", n, spanSum, n)
+		}
+		ops := seriesByName(t, v, "ops")
+		var opsSum uint64
+		for _, x := range ops.Values {
+			opsSum += x
+		}
+		if opsSum != cum {
+			t.Fatalf("n=%d: counter sum = %d, want %d (decimation must conserve)", n, opsSum, cum)
+		}
+		level := seriesByName(t, v, "level")
+		if got := level.Values[len(level.Values)-1]; got != lastGauge {
+			t.Fatalf("n=%d: final gauge = %d, want %d", n, got, lastGauge)
+		}
+	}
+}
+
+// TestRecorderScaleDoubles pins the decimation arithmetic itself: filling
+// a capacity-4 recorder far past its ring doubles the epoch width each
+// time the ring fills (scale stays a power of two), and no span ever
+// exceeds the final scale.
+func TestRecorderScaleDoubles(t *testing.T) {
+	rec := NewRecorder(4)
+	rec.Start(twoSeries)
+	for i := 1; i <= 16; i++ {
+		rec.Sample([]uint64{uint64(i), 0})
+	}
+	rec.Flush()
+	v := rec.Snapshot()
+	if v.Epochs > 4 {
+		t.Fatalf("epochs = %d, want <= capacity 4", v.Epochs)
+	}
+	if v.Scale < 4 || v.Scale&(v.Scale-1) != 0 {
+		t.Fatalf("scale = %d, want a power of two >= 4 after two ring fills", v.Scale)
+	}
+	for i, s := range v.Spans {
+		if s == 0 || s > v.Scale {
+			t.Fatalf("span[%d] = %d, want 1..scale %d", i, s, v.Scale)
+		}
+	}
+}
+
+// TestRecorderEpochFrames pins the live side channel: each committed
+// epoch invokes the callback with that epoch's deltas, and the frames sum
+// to the same totals the retained timeline reports.
+func TestRecorderEpochFrames(t *testing.T) {
+	rec := NewRecorder(8)
+	var frames []EpochFrame
+	rec.OnEpoch(func(f EpochFrame) { frames = append(frames, f) })
+	rec.Start(twoSeries)
+	var cum uint64
+	for i := 1; i <= 5; i++ {
+		cum += 10
+		rec.Sample([]uint64{cum, uint64(i)})
+	}
+	rec.Flush()
+	if len(frames) != 5 {
+		t.Fatalf("frames = %d, want 5 (scale 1: one per sample, plus the flushed partial)", len(frames))
+	}
+	var sum uint64
+	for i, f := range frames {
+		if f.Epoch != i {
+			t.Fatalf("frame %d has epoch %d", i, f.Epoch)
+		}
+		sum += f.Series["ops"]
+	}
+	if sum != cum {
+		t.Fatalf("frame ops sum = %d, want %d", sum, cum)
+	}
+	if got := frames[len(frames)-1].Series["level"]; got != 5 {
+		t.Fatalf("final frame gauge = %d, want 5", got)
+	}
+}
+
+// TestRecorderGuards pins the defensive edges: sampling before Start,
+// after Flush, or with a mis-sized row is a no-op, and a nil recorder is
+// inert everywhere (the telemetry-off path).
+func TestRecorderGuards(t *testing.T) {
+	rec := NewRecorder(4)
+	rec.Sample([]uint64{1, 2}) // before Start: dropped
+	rec.Start(twoSeries)
+	rec.Sample([]uint64{1}) // wrong width: dropped
+	rec.Sample([]uint64{5, 1})
+	rec.Flush()
+	rec.Sample([]uint64{9, 9}) // after Flush: dropped
+	if v := rec.Snapshot(); v.Samples != 1 || v.Epochs != 1 {
+		t.Fatalf("guarded recorder = %+v", v)
+	}
+
+	var nilRec *Recorder
+	nilRec.Sample([]uint64{1})
+	nilRec.Flush()
+	nilRec.OnEpoch(func(EpochFrame) {})
+	if nilRec.Epochs() != 0 || nilRec.Samples() != 0 || nilRec.Finished() {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+// TestTimelineCSVEscaping pins the CSV writer's quoting: series names (and
+// any future string cell) containing commas, quotes or newlines must
+// round-trip through encoding/csv instead of corrupting columns. Source
+// literals are linted to never look like this; the writer still must not
+// rely on that.
+func TestTimelineCSVEscaping(t *testing.T) {
+	rec := NewRecorder(4)
+	rec.Start([]SeriesDef{
+		{Name: `evil,"name`, Kind: Counter},
+		{Name: "plain", Kind: Counter},
+	})
+	rec.Sample([]uint64{3, 4})
+	rec.Flush()
+	var b strings.Builder
+	if err := rec.Snapshot().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv = %d lines, want header + 1 epoch:\n%s", len(lines), out)
+	}
+	if want := `epoch,span,"evil,""name",plain`; lines[0] != want {
+		t.Fatalf("header = %q, want %q", lines[0], want)
+	}
+	if lines[1] != "0,1,3,4" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+// TestTimelinesRegistry pins the bounded registry: eviction prefers the
+// oldest finished timeline, an Attach for a known id restarts in place,
+// and a nil registry (telemetry off) is safe everywhere.
+func TestTimelinesRegistry(t *testing.T) {
+	reg := NewTimelines(2)
+	if !reg.Enabled() {
+		t.Fatal("registry should report enabled")
+	}
+	a := reg.Attach("a")
+	a.Start(twoSeries)
+	a.Sample([]uint64{1, 0})
+	a.Flush() // finished: the preferred eviction victim
+	b := reg.Attach("b")
+	b.Start(twoSeries)
+	reg.Attach("c") // over bound: evicts a (oldest finished), not b (live)
+	if _, ok := reg.View("a"); ok {
+		t.Fatal("finished timeline a should have been evicted")
+	}
+	if _, ok := reg.View("b"); !ok {
+		t.Fatal("live timeline b should survive eviction")
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("len = %d, want 2", reg.Len())
+	}
+
+	// Restart keeps the slot: same id, fresh recorder, no growth.
+	reg.Attach("b")
+	if reg.Len() != 2 {
+		t.Fatalf("restart grew the registry to %d", reg.Len())
+	}
+	if v, ok := reg.View("b"); !ok || v.Samples != 0 {
+		t.Fatalf("restarted b = %+v, want a fresh recorder", v)
+	}
+
+	st := reg.Stats()
+	if st.Attached != 4 || st.Retained != 2 {
+		t.Fatalf("stats = %+v, want 4 attached / 2 retained", st)
+	}
+
+	var nilReg *Timelines
+	if nilReg.Enabled() {
+		t.Fatal("nil registry must report disabled")
+	}
+	if rec := nilReg.Attach("x"); rec != nil {
+		t.Fatal("nil registry must hand out nil recorders")
+	}
+	if _, ok := nilReg.View("x"); ok || nilReg.Len() != 0 {
+		t.Fatal("nil registry must be empty")
+	}
+	if st := nilReg.Stats(); st != (TimelineStats{}) {
+		t.Fatalf("nil registry stats = %+v", st)
+	}
+}
+
+// seriesByName fails the test when the series is absent.
+func seriesByName(t *testing.T, v TimelineView, name string) SeriesView {
+	t.Helper()
+	for _, s := range v.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing from %+v", name, v.Series)
+	return SeriesView{}
+}

@@ -71,6 +71,7 @@ func SpecFor(bench string, cfg *config.Config, opt sim.Options) Spec {
 		opt.OpsScale = 1
 	}
 	opt.Progress, opt.ProgressEvery, opt.Interrupt, opt.Timing = nil, 0, nil, nil
+	opt.Telemetry = nil
 	return Spec{Benchmark: bench, Config: *cfg, Options: opt}
 }
 

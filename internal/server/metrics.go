@@ -136,6 +136,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("lard_engine_events_dropped_total", "Events dropped at full per-subscriber queues (slow consumers).", m.Events.Dropped)
 	gauge("lard_engine_subscribers", "Live event-stream subscriptions.", m.Events.Subscribers)
 	gauge("lard_engine_topics", "Event topics holding replayable history.", m.Events.Topics)
+	if s.obs.Timelines.Enabled() {
+		ts := s.obs.Timelines.Stats()
+		counter("lard_timeline_runs_total", "Runs that attached a telemetry flight recorder.", ts.Attached)
+		gauge("lard_timeline_retained", "Timelines currently held in the bounded registry.", ts.Retained)
+		gauge("lard_timeline_epochs", "Retained epochs summed across held timelines.", ts.Epochs)
+		gauge("lard_timeline_samples", "Raw telemetry samples folded into held timelines.", int(ts.Samples))
+		counter("lard_timeline_epoch_frames_dropped_total", "Live epoch frames discarded by event-history compaction.", m.Events.EpochDropped)
+	}
 	{
 		name := "lard_engine_dispatch_total"
 		fmt.Fprintf(&b, "# HELP %s Jobs admitted to the queue by placement class (dispatcher %q).\n# TYPE %s counter\n", name, m.Dispatcher, name)

@@ -21,6 +21,11 @@
 //	                                 -> simulating (with the simulator's
 //	                                 phase breakdown) -> stored; 404 unless
 //	                                 the server runs with tracing enabled
+//	GET  /v1/runs/{id}/timeline      the run's epoch-resolved telemetry
+//	                                 (per-epoch coherence counters, cycle
+//	                                 components); ?format=csv for a flat
+//	                                 dump; 404 unless the server runs with
+//	                                 telemetry enabled
 //	POST /v1/campaigns               submit a benchmark x scheme matrix as
 //	                                 one campaign (see campaign.go)
 //	GET  /v1/campaigns/{id}          campaign progress + per-member status
@@ -176,6 +181,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleRunEvents)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("GET /v1/runs/{id}/timeline", s.handleRunTimeline)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
@@ -303,6 +309,34 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tree)
+}
+
+// handleRunTimeline implements GET /v1/runs/{id}/timeline: the run's
+// epoch-resolved telemetry (per-epoch coherence counter deltas and cycle
+// components), finished or in flight. ?format=csv answers a flat
+// epoch-per-row dump instead of JSON. 404 covers the same three cases as
+// /trace, distinguished in the body: telemetry disabled on this server,
+// an id never seen, and a timeline evicted from the bounded registry.
+func (s *Server) handleRunTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.engine.Timeline(id)
+	if !ok {
+		if !s.obs.Timelines.Enabled() {
+			writeError(w, http.StatusNotFound, errors.New("telemetry is disabled on this server (start with -telemetry)"))
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("no timeline for run %q (unknown id, or evicted)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if err := view.WriteCSV(w); err != nil {
+			s.obs.Log.Warn("timeline csv write failed", "run", id, "error", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // handleCancel implements DELETE /v1/runs/{id}: cancel a queued or
@@ -484,6 +518,9 @@ type statsView struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Tracing reports whether run tracing (GET /v1/runs/{id}/trace) is on.
 	Tracing bool `json:"tracing"`
+	// Telemetry reports whether run timelines (GET /v1/runs/{id}/timeline)
+	// are on.
+	Telemetry bool `json:"telemetry"`
 }
 
 // engineStatsView is the engine subtree of /stats: the event bus and the
@@ -516,6 +553,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StoreDir:      s.store.Dir(),
 		UptimeSeconds: s.obs.Uptime().Seconds(),
 		Tracing:       s.obs.Tracer.Enabled(),
+		Telemetry:     s.obs.Timelines.Enabled(),
 	}
 	if bs, ok := s.store.BackendStats(); ok {
 		view.Backend = &bs

@@ -13,6 +13,7 @@ import (
 	"lard/internal/config"
 	"lard/internal/energy"
 	"lard/internal/mem"
+	"lard/internal/obs"
 	"lard/internal/stats"
 	"lard/internal/trace"
 )
@@ -62,6 +63,12 @@ type Options struct {
 	// nothing on the per-operation hot path: phases are stamped only at
 	// the four phase boundaries.
 	Timing *Timing `json:"-"`
+	// Telemetry, when non-nil, receives epoch-resolved counter samples at
+	// the same checkEvery cadence as Progress/Interrupt (plus one final
+	// sample, then Flush, on every exit path). Key-neutral like the other
+	// observers, and result-neutral: sampling only reads counters the
+	// engine and run loop already maintain.
+	Telemetry *obs.Recorder `json:"-"`
 }
 
 // DefaultProgressEvery is the default Progress/Interrupt polling cadence,
@@ -227,12 +234,12 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 	pos := make([]int, n)
 	cnt := make([]int, n)
 
-	// Progress/interrupt cadence: checkEvery stays 0 when neither observer
-	// is wired, so the steady-state cost of this feature is one integer
-	// compare per operation. Remaining() is exact here — the chunk windows
-	// above are filled lazily, after this count.
+	// Progress/interrupt/telemetry cadence: checkEvery stays 0 when no
+	// observer is wired, so the steady-state cost of this feature is one
+	// integer compare per operation. Remaining() is exact here — the chunk
+	// windows above are filled lazily, after this count.
 	var checkEvery, targetOps uint64
-	if opt.Progress != nil || opt.Interrupt != nil {
+	if opt.Progress != nil || opt.Interrupt != nil || opt.Telemetry != nil {
 		checkEvery = opt.ProgressEvery
 		if checkEvery == 0 {
 			checkEvery = DefaultProgressEvery
@@ -240,6 +247,15 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 		for c := 0; c < n; c++ {
 			targetOps += uint64(w.Streams[c].Remaining())
 		}
+	}
+
+	// Telemetry setup happens once per run (allocation is fine here); the
+	// per-sample path below reuses tscratch and never allocates.
+	rec := opt.Telemetry
+	var tscratch []uint64
+	if rec != nil {
+		rec.Start(telemetrySeries)
+		tscratch = make([]uint64, len(telemetrySeries))
 	}
 
 	for sch.active > 0 {
@@ -284,6 +300,13 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 			if opt.Interrupt != nil {
 				select {
 				case <-opt.Interrupt:
+					if rec != nil {
+						// Final sample + Flush: the partial timeline of an
+						// interrupted run stays internally consistent.
+						fillTelemetry(tscratch, eng, totalOps, breakdown, miss)
+						rec.Sample(tscratch)
+						rec.Flush()
+					}
 					if track {
 						lap(&tm.CoherenceLoop)
 						*opt.Timing = tm
@@ -295,10 +318,23 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 			if opt.Progress != nil {
 				opt.Progress(totalOps, targetOps)
 			}
+			if rec != nil {
+				fillTelemetry(tscratch, eng, totalOps, breakdown, miss)
+				rec.Sample(tscratch)
+			}
 		}
 		sch.push(res.Done, c)
 	}
 	lap(&tm.CoherenceLoop)
+	if rec != nil {
+		// Final sample (a zero-delta epoch when the op count landed exactly
+		// on the cadence) + Flush: after this, every counter series sums to
+		// its final cumulative value — "ops" to Result.Ops, the miss series
+		// to Result.Miss — which is the conservation the timeline tests pin.
+		fillTelemetry(tscratch, eng, totalOps, breakdown, miss)
+		rec.Sample(tscratch)
+		rec.Flush()
+	}
 
 	r := &Result{
 		Benchmark:             p.Name,

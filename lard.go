@@ -25,6 +25,7 @@ import (
 	"lard/internal/config"
 	"lard/internal/energy"
 	"lard/internal/mem"
+	"lard/internal/obs"
 	"lard/internal/resultstore"
 	"lard/internal/sim"
 	"lard/internal/stats"
@@ -111,6 +112,10 @@ type Options struct {
 	// excluded from JSON encoding and from content addresses, and a store
 	// hit returns without filling it (nothing was simulated).
 	Timing *Timing `json:"-"`
+	// Telemetry, when non-nil, records an epoch-resolved counter timeline
+	// for the run (see obs.Recorder). Execution plumbing like Timing:
+	// key-neutral, result-neutral, and left untouched on a store hit.
+	Telemetry *obs.Recorder `json:"-"`
 }
 
 // Timing is the simulator's phase breakdown; see Options.Timing.
@@ -299,6 +304,7 @@ func buildConfig(s Scheme, o Options) (*config.Config, sim.Options, error) {
 		CheckInvariants: o.CheckInvariants,
 		TrackRuns:       o.TrackRuns,
 		Timing:          o.Timing,
+		Telemetry:       o.Telemetry,
 	}
 	if def.apply != nil {
 		def.apply(s, cfg, &opt)
