@@ -1,0 +1,594 @@
+// Conflict-footprint probe and worker-lane support for the simulator's
+// parallel access scheduler (internal/sim).
+//
+// The contract: PeekAccess computes, without mutating anything, a
+// conservative superset of the tiles a transaction can touch. Two
+// transactions whose footprints are disjoint commute — they read and write
+// disjoint engine state (tile caches, per-tile busy maps, directory entries
+// held by home lines, mesh links and DRAM controller queues, all of which
+// are covered by tile bits, since a controller lives at a fixed tile and a
+// mesh link's endpoints are both in any route that crosses it) — so the
+// simulator may execute them concurrently on worker clones and commit the
+// results in canonical (time, core) order, with an outcome byte-identical
+// to the sequential loop.
+//
+// The footprint is self-contained: it is derived only from state that lives
+// inside the footprint itself (the requester's caches, the home entry, the
+// probed LLC sets, and — gated to solo rounds — the page table), so a
+// footprint stays valid while footprint-disjoint transactions execute.
+// Every worker execution is checked after the fact: the tiles an access
+// actually visited (Engine.touched, maintained by note calls on the access
+// paths) must be a subset of the declared footprint, turning any peek
+// under-approximation into a loud panic instead of a silent divergence.
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lard/internal/config"
+	"lard/internal/directory"
+	"lard/internal/energy"
+	"lard/internal/mem"
+)
+
+// occBias offsets a worker clone's directory-occupancy counter so that a
+// round executing more home evictions than fills on one lane never trips
+// the counter's zero guard; MergeWorker folds the signed delta back.
+const occBias = int64(1) << 32
+
+// Footprint is the conservative conflict footprint of one access.
+type Footprint struct {
+	// Tiles has bit c set when the access may touch tile c (its caches,
+	// its per-line busy map, a directory entry it holds, a DRAM controller
+	// at it, or a mesh link adjacent to it).
+	Tiles uint64
+	// L1 has bit c set when the access may touch core c's private L1
+	// state: the requester's own (lookup, fill, eviction) plus every
+	// invalidation/downgrade fan-out target. It is the only part of the
+	// footprint that can conflict with another core's L1-hit chain — a
+	// chained hit touches nothing but its own L1 — so the scheduler gates
+	// chaining on this mask rather than the much wider Tiles.
+	L1 uint64
+	// Global marks an access that must run alone on the master engine:
+	// it may mutate state no tile mask covers (the R-NUCA page table).
+	Global bool
+	// State has bit c set when the access may read or write tile c's
+	// simulated *state* — its caches, directory entries, busy maps or DRAM
+	// controller queue — as opposed to merely traversing the tile on a mesh
+	// route. State ⊆ Tiles: it is Tiles minus the route-only padding. Every
+	// execution is checked against it (CheckTouched), and committed misses
+	// invalidate other candidates' cached footprints through it — a probe
+	// reads only tile state (see Reads), so route-only overlap can never
+	// change its answer.
+	State uint64
+	// Reads has bit c set when the probe that produced this footprint read
+	// tile c's state: the requester (its L1, its LLC slice, its victim
+	// sets) and the home (entry, directory, victim set). A cached
+	// footprint — including its exact victim predictions — must be
+	// recomputed exactly when a committed access's State intersects its
+	// Reads. (The probe also reads the R-NUCA page table; only Global
+	// accesses mutate it, and a committed Global invalidates everything.)
+	Reads uint64
+	// MinLat is a lower bound on the access's service latency (completion
+	// minus issue time) that stays valid however canonically-earlier
+	// conflicting accesses reshape the state before this one executes:
+	// contention and invalidations can only lengthen the transaction, and
+	// every term counted here survives any such change. The parallel
+	// scheduler uses it as event lookahead — the issuing core cannot wake
+	// again before issue+MinLat — which is what lets accesses at different
+	// simulated times execute in the same round without a not-yet-visible
+	// successor event sneaking canonically between them.
+	MinLat mem.Cycles
+}
+
+// ParallelSafe reports whether this engine's configuration admits the
+// conflict-footprint analysis. The gated features and why they fall back
+// to the sequential loop:
+//
+//   - ASR draws from the engine's rng on every L1 eviction, so results
+//     depend on the global eviction order, not just per-line state.
+//   - Cluster replication (ClusterSize > 1) spreads a logical transaction
+//     over a replica cluster and the home's ReplicaSlices set; the simple
+//     tile closure below does not model the hierarchical fan-outs.
+//   - TLH-LRU sends hint messages to the home on L1 *hits*, breaking the
+//     invariant that an L1 hit touches only the requester's tile.
+//   - The lookup oracle and the keep-L1 eviction ablation reshape probe
+//     paths that the footprint mirrors; both are ablation-only modes.
+//   - CheckInvariants reads the home tile on every access (SWMR check).
+//
+// All five registered schemes except ASR are parallel-safe in their
+// standard figure configurations (ClusterSize 1, modified-LRU).
+func (e *Engine) ParallelSafe() bool {
+	return e.scheme != ASR &&
+		e.cfg.ClusterSize <= 1 &&
+		e.cfg.Replacement != config.TLHLRU &&
+		!e.cfg.LookupOracle &&
+		!e.cfg.KeepL1OnReplicaEvict &&
+		!e.opts.CheckInvariants
+}
+
+// PrepareParallel readies the engine for a parallel run: it builds the
+// mesh route-mask table, redirects run-tracker events into the replay log,
+// and returns workers-1 worker clones (the master executes the remaining
+// lane itself). Call FinishParallel when the run completes.
+func (e *Engine) PrepareParallel(workers int) []*Engine {
+	n := e.cfg.Cores
+	if e.routeMasks == nil {
+		e.routeMasks = buildRouteMasks(e.cfg.MeshW, n)
+	}
+	e.logRuns = e.runs != nil
+	clones := make([]*Engine, workers-1)
+	for i := range clones {
+		clones[i] = e.workerClone()
+	}
+	return clones
+}
+
+// FinishParallel restores direct run tracking after a parallel run.
+func (e *Engine) FinishParallel() { e.logRuns = false }
+
+// buildRouteMasks precomputes, for every tile pair, the set of tiles on the
+// X-Y routes between them (both directions — requests and replies traverse
+// different tiles under dimension-ordered routing). Two messages that share
+// a directed mesh link necessarily share both of that link's endpoint
+// tiles, so tile-mask disjointness implies link disjointness.
+func buildRouteMasks(w, n int) []uint64 {
+	masks := make([]uint64, n*n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			masks[s*n+d] = xyRouteMask(w, s, d) | xyRouteMask(w, d, s)
+		}
+	}
+	return masks
+}
+
+// xyRouteMask walks the X-Y route from src to dst exactly as Mesh.Send does
+// and returns the visited-tile mask (including both endpoints).
+func xyRouteMask(w, src, dst int) uint64 {
+	x, y := src%w, src/w
+	dx, dy := dst%w, dst/w
+	m := uint64(1) << uint(src)
+	for x != dx {
+		if dx > x {
+			x++
+		} else {
+			x--
+		}
+		m |= 1 << uint(y*w+x)
+	}
+	for y != dy {
+		if dy > y {
+			y++
+		} else {
+			y--
+		}
+		m |= 1 << uint(y*w+x)
+	}
+	return m
+}
+
+// pairMask returns the precomputed bidirectional route mask for (a, b).
+func (e *Engine) pairMask(a, b mem.CoreID) uint64 {
+	return e.routeMasks[int(a)*e.cfg.Cores+int(b)]
+}
+
+// allTiles is the mask covering every simulated tile.
+func (e *Engine) allTiles() uint64 {
+	if e.cfg.Cores >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(e.cfg.Cores)) - 1
+}
+
+// PeekAccess computes the conflict footprint of the access core c is about
+// to issue, strictly read-only. Only valid on a ParallelSafe engine (which
+// guarantees the replica slice is the requester's own tile).
+func (e *Engine) PeekAccess(c mem.CoreID, op Op) Footprint {
+	// An L1 hit completes in exactly L1Latency; this is also the universal
+	// floor of every other path.
+	fp := Footprint{
+		Tiles:  1 << uint(c),
+		L1:     1 << uint(c),
+		State:  1 << uint(c),
+		Reads:  1 << uint(c),
+		MinLat: e.cfg.L1Latency,
+	}
+	l1 := e.tiles[c].l1For(op.Type)
+	if line := l1.Lookup(op.Line); line != nil {
+		if !op.Type.IsWrite() || line.State.Writable() {
+			// L1 hit: Touch + possible silent upgrade, all on tile c
+			// (temporal hints and the invariant checker are gated out).
+			return fp
+		}
+	}
+
+	// Miss lookahead floor. A peeked miss can never turn into an L1 hit (only
+	// the core's own accesses fill its L1, and this is its next access), so
+	// the transaction consults at least one LLC tag — the local replica probe
+	// or the home's — and a read returns data through at least one LLC data
+	// array (replica hit, home read or off-chip fill all charge it). A write
+	// may complete as a data-less upgrade, so it only counts the tag.
+	fp.MinLat += e.cfg.LLCTagLatency
+	if !op.Type.IsWrite() {
+		fp.MinLat += e.cfg.LLCDataLatency
+	}
+
+	// Miss transaction. Placement first: a first touch or a private->shared
+	// promotion mutates the page table and must run alone.
+	home, ok := e.peekHome(op, c)
+	if !ok {
+		fp.Global = true
+		return fp
+	}
+	fp.Tiles |= 1<<uint(home) | e.pairMask(c, home)
+	fp.State |= 1 << uint(home)
+	fp.Reads |= 1 << uint(home)
+
+	// Unless a usable replica sits at the requester's own slice, the
+	// transaction round-trips to the home at zero-load mesh latency or
+	// better-never. The home is stable enough for a lower bound: interleaved
+	// and instruction homes never move, and a private page's home is the
+	// requester itself (peekHome rejects foreign owners), which contributes
+	// zero — if a promotion rehomes it before execution, the real path only
+	// gets longer. Replicas at slice c are created only by core c's own
+	// accesses, so a missing replica cannot appear; a present one can vanish,
+	// but every fallback path is at least as long as the replica hit.
+	if !(e.usesReplicas && home != c && e.replicaUsable(c, op)) {
+		fp.MinLat += 2 * e.mesh.LatencyNoContention(c, home, 1)
+	}
+
+	hl := e.homeEntry(home, op.Line)
+	if hl != nil {
+		ent := hl.Meta.dir
+		if op.Type.IsWrite() {
+			if ent.Sharers.Overflowed() {
+				// ACKwise broadcast: the invalidation probes every core.
+				fp.Tiles = e.allTiles()
+				fp.L1 = fp.Tiles
+				fp.State = fp.Tiles
+				return fp
+			}
+			for b := ent.Sharers.Bits(); b != 0; b &= b - 1 {
+				s := mem.CoreID(bits.TrailingZeros64(b))
+				fp.Tiles |= 1<<uint(s) | e.pairMask(home, s)
+				fp.L1 |= 1 << uint(s)
+				fp.State |= 1 << uint(s)
+			}
+		} else if ent.HasOwner && ent.Owner != c {
+			// A read never broadcasts, overflowed sharer set or not: it only
+			// downgrades the exclusive owner (homeRead).
+			fp.Tiles |= 1<<uint(ent.Owner) | e.pairMask(home, ent.Owner)
+			fp.L1 |= 1 << uint(ent.Owner)
+			fp.State |= 1 << uint(ent.Owner)
+		}
+	} else {
+		// Off-chip fill: the controller leg, plus whatever the fill's
+		// eviction at the home slice may disturb.
+		ctile := e.dram.TileOf(e.dram.ControllerFor(op.Line))
+		fp.Tiles |= 1<<uint(ctile) | e.pairMask(home, ctile)
+		fp.State |= 1 << uint(ctile)
+		e.closeOverVictim(home, op.Line, false, &fp)
+	}
+
+	// A replica may be created at the requester's slice (conservatively
+	// assumed whenever the machinery allows it — peeking the classifier's
+	// actual decision would require mutating it).
+	if e.usesReplicas && home != c {
+		e.closeOverVictim(c, op.Line, false, &fp)
+	}
+
+	// L1 fill: when the set is full the exact LRU victim is displaced and
+	// its disposal may touch its home (and, for victim-replicating
+	// schemes, evict from the requester's slice in turn).
+	if l1.Lookup(op.Line) == nil {
+		ways := l1.WaysOf(op.Line)
+		victim := -1
+		var lru uint64
+		for i := range ways {
+			if !ways[i].State.Valid() {
+				victim = -1
+				break
+			}
+			if victim < 0 || ways[i].LastUse < lru {
+				victim, lru = i, ways[i].LastUse
+			}
+		}
+		if victim >= 0 {
+			vla := ways[victim].Addr
+			vhome := e.homeOfLine(vla, c)
+			fp.Tiles |= 1<<uint(vhome) | e.pairMask(c, vhome)
+			fp.State |= 1 << uint(vhome)
+			if e.victimRepl {
+				// The victim-insert at slice c runs after the transaction
+				// may already have inserted op.Line into c's LLC — a replica
+				// creation, or the off-chip home fill when c is the home. If
+				// that insert can land in the victim-insert's own set, the
+				// pre-state victim prediction is unreliable (the set's
+				// contents and recency change under it, and the fresh
+				// op.Line way itself can become the displaced victim), so
+				// close over every line the insert could displace instead.
+				mayInsert := (e.usesReplicas && home != c) || (home == c && hl == nil)
+				if mayInsert && e.tiles[c].llc.SetOf(op.Line) == e.tiles[c].llc.SetOf(vla) {
+					// Displacing the fresh op.Line way is a replica eviction
+					// at slice c: own-L1 back-invalidation plus its home
+					// acknowledgement (both already in the masks via c and
+					// home).
+					fp.L1 |= 1 << uint(c)
+					e.closeOverSet(c, vla, &fp)
+				} else {
+					e.closeOverVictim(c, vla, true, &fp)
+				}
+			}
+		}
+	}
+	return fp
+}
+
+// PeekL1Hit reports, without mutating anything, whether core c's next
+// access would complete as an L1 hit. On a ParallelSafe engine a hit
+// touches only tile c (temporal hints and the invariant checker are gated
+// out) and completes in exactly L1Latency, so the parallel scheduler's
+// hit chains use this as their continuation test: while it returns true
+// the chain's footprint stays the single requester tile.
+//
+// Hit-ness is stable under the core's own hits: a hit mutates recency and
+// at most performs a silent E->M upgrade, never changing which lines are
+// present or losing writability — so a run of consecutive peeked hits
+// stays a run of hits however it interleaves with footprint-disjoint
+// work, and its wake times (each exactly L1Latency after issue) can be
+// computed in advance. That is what lets the scheduler use the wake of a
+// core's first non-hit as its event lookahead.
+func (e *Engine) PeekL1Hit(c mem.CoreID, op Op) bool {
+	line := e.tiles[c].l1For(op.Type).Lookup(op.Line)
+	return line != nil && (!op.Type.IsWrite() || line.State.Writable())
+}
+
+// L1HitLatency is the exact service latency of an L1 hit — the cycle
+// arithmetic the scheduler needs to walk a peeked hit run.
+func (e *Engine) L1HitLatency() mem.Cycles { return e.cfg.L1Latency }
+
+// replicaUsable reports whether the requester's own LLC slice currently
+// holds a replica that could serve this access (any valid state for reads,
+// a writable one for writes) — the condition replicaLookup hits on.
+func (e *Engine) replicaUsable(c mem.CoreID, op Op) bool {
+	l := e.tiles[c].llc.Lookup(op.Line)
+	if l == nil || l.Meta.home {
+		return false
+	}
+	return !op.Type.IsWrite() || l.State.Writable()
+}
+
+// peekVictim mirrors cache.Insert's victim choice for an insertion of la
+// into slice's LLC set: nil when a free way (or, on the VR filter path, the
+// filter's rejection) means nothing would be displaced, otherwise the exact
+// way the insertion would evict. The choice is deterministic and derived
+// only from state the footprint already covers — the set itself, the
+// directory entries its home lines hold, and the slice's own L1 (the
+// modified-LRU copy ranks) all live on the slice tile — so it stays
+// correct exactly as long as the footprint stays valid: any commit that
+// could reshape the set touches the slice tile and re-peeks this
+// candidate, and concurrently selected accesses are footprint-disjoint.
+func (e *Engine) peekVictim(slice mem.CoreID, la mem.LineAddr, vr bool) *cacheLine {
+	tl := e.tiles[slice]
+	ways := tl.llc.WaysOf(la)
+	for i := range ways {
+		if !ways[i].State.Valid() {
+			return nil
+		}
+	}
+	if vr {
+		v := victimAllowedVR(ways)
+		if v < 0 {
+			return nil
+		}
+		return &ways[v]
+	}
+	return &ways[e.llcVictim(tl)(ways)]
+}
+
+// closeOverVictim adds the disposal fan-out of the exact line an insertion
+// at slice would displace: its sharers and DRAM controller (home lines) or
+// its own slice's L1 back-invalidation plus a home acknowledgement
+// (replicas). Predicting the single real victim instead of closing over
+// the whole set is what keeps miss footprints — in particular their L1
+// masks — narrow enough for the scheduler's hit-run lookahead to matter.
+func (e *Engine) closeOverVictim(slice mem.CoreID, la mem.LineAddr, vr bool, fp *Footprint) {
+	w := e.peekVictim(slice, la, vr)
+	if w == nil {
+		return
+	}
+	if w.Meta.home {
+		ent := w.Meta.dir
+		if ent.Sharers.Overflowed() {
+			fp.Tiles = e.allTiles()
+			fp.L1 = fp.Tiles
+			fp.State = fp.Tiles
+			return
+		}
+		for b := ent.Sharers.Bits(); b != 0; b &= b - 1 {
+			s := mem.CoreID(bits.TrailingZeros64(b))
+			fp.Tiles |= 1<<uint(s) | e.pairMask(slice, s)
+			fp.L1 |= 1 << uint(s)
+			fp.State |= 1 << uint(s)
+		}
+		ctile := e.dram.TileOf(e.dram.ControllerFor(w.Addr))
+		fp.Tiles |= 1<<uint(ctile) | e.pairMask(slice, ctile)
+		fp.State |= 1 << uint(ctile)
+	} else {
+		// replicaEvicted back-invalidates the slice's own L1 copies before
+		// acknowledging the victim's home.
+		fp.L1 |= 1 << uint(slice)
+		vhome := e.homeOfLine(w.Addr, slice)
+		fp.Tiles |= 1<<uint(vhome) | e.pairMask(slice, vhome)
+		fp.State |= 1<<uint(slice) | 1<<uint(vhome)
+	}
+}
+
+// closeOverSet adds the disposal fan-out of every line an insertion into
+// la's set at slice could displace — the conservative fallback for the one
+// insert whose victim cannot be predicted from pre-transaction state (the
+// Victim Replication victim-insert racing an earlier same-set insert of the
+// same transaction).
+func (e *Engine) closeOverSet(slice mem.CoreID, la mem.LineAddr, fp *Footprint) {
+	ways := e.tiles[slice].llc.WaysOf(la)
+	for i := range ways {
+		w := &ways[i]
+		if !w.State.Valid() {
+			continue
+		}
+		if w.Meta.home {
+			ent := w.Meta.dir
+			if ent.Sharers.Overflowed() {
+				fp.Tiles = e.allTiles()
+				fp.L1 = fp.Tiles
+				fp.State = fp.Tiles
+				return
+			}
+			for b := ent.Sharers.Bits(); b != 0; b &= b - 1 {
+				s := mem.CoreID(bits.TrailingZeros64(b))
+				fp.Tiles |= 1<<uint(s) | e.pairMask(slice, s)
+				fp.L1 |= 1 << uint(s)
+				fp.State |= 1 << uint(s)
+			}
+			ctile := e.dram.TileOf(e.dram.ControllerFor(w.Addr))
+			fp.Tiles |= 1<<uint(ctile) | e.pairMask(slice, ctile)
+			fp.State |= 1 << uint(ctile)
+		} else {
+			fp.L1 |= 1 << uint(slice)
+			vhome := e.homeOfLine(w.Addr, slice)
+			fp.Tiles |= 1<<uint(vhome) | e.pairMask(slice, vhome)
+			fp.State |= 1<<uint(slice) | 1<<uint(vhome)
+		}
+	}
+}
+
+// peekHome mirrors homeFor without mutating the page table. ok=false means
+// the access would mutate it (first touch or reclassification) and must run
+// alone on the master engine.
+func (e *Engine) peekHome(op Op, c mem.CoreID) (home mem.CoreID, ok bool) {
+	if !e.rnucaPlacement {
+		return e.interleave(op.Line), true
+	}
+	p, present := e.pages.pages[mem.PageOfLine(op.Line)]
+	if !present {
+		return 0, false
+	}
+	if p.class == pagePrivate && p.owner != c {
+		return 0, false
+	}
+	switch {
+	case p.class == pageInstr && e.instrClusterHome:
+		return e.instrHome(op.Line, c), true
+	case p.class == pagePrivate:
+		return p.owner, true
+	default:
+		return e.interleave(op.Line), true
+	}
+}
+
+// workerClone returns a lane engine sharing the simulated machine's state
+// (tiles, page table, configuration) with private meters, counters, scratch
+// buffers and free lists, so footprint-disjoint accesses on different lanes
+// never write the same memory.
+func (e *Engine) workerClone() *Engine {
+	w := &Engine{
+		cfg:              e.cfg,
+		eparam:           e.eparam,
+		opts:             e.opts,
+		scheme:           e.scheme,
+		usesReplicas:     e.usesReplicas,
+		rnucaPlacement:   e.rnucaPlacement,
+		instrClusterHome: e.instrClusterHome,
+		clusterRepl:      e.clusterRepl,
+		consumeOnHit:     e.consumeOnHit,
+		victimRepl:       e.victimRepl,
+		tiles:            e.tiles,
+		pages:            e.pages,
+		rng:              e.rng, // never drawn from: ASR is not ParallelSafe
+		meter:            &energy.Meter{},
+		clfParams:        e.clfParams,
+		parent:           e,
+		logRuns:          e.runs != nil,
+		routeMasks:       e.routeMasks,
+	}
+	w.mesh = e.mesh.WorkerView(w.meter)
+	w.dram = e.dram.WorkerView(w.meter)
+	desc, _ := Describe(e.scheme)
+	w.policy = desc.New(w)
+	w.fanout = make([]mem.CoreID, 0, e.cfg.Cores)
+	w.rsnap = make([]mem.CoreID, 0, e.cfg.Cores)
+	w.dirOcc.Shift(occBias)
+	return w
+}
+
+// MergeWorker folds a worker clone's private accumulators back into the
+// master and resets them, so per-round merges never double-count. Energy
+// merges are exact in any order: every per-event energy is a small integer,
+// so the float64 component sums are exact integer arithmetic.
+func (e *Engine) MergeWorker(w *Engine) {
+	e.meter.AddMeter(w.meter)
+	w.meter.Reset()
+	e.mesh.MergeWorker(w.mesh)
+	e.dram.MergeWorker(w.dram)
+	for i := range w.replicaInserts {
+		e.replicaInserts[i] += w.replicaInserts[i]
+		e.replicaHits[i] += w.replicaHits[i]
+		w.replicaInserts[i], w.replicaHits[i] = 0, 0
+	}
+	e.replicaEvicts += w.replicaEvicts
+	e.replicaInvals += w.replicaInvals
+	e.clfPromotions += w.clfPromotions
+	e.clfDemotions += w.clfDemotions
+	e.rehomed += w.rehomed
+	w.replicaEvicts, w.replicaInvals, w.clfPromotions, w.clfDemotions, w.rehomed = 0, 0, 0, 0, 0
+	e.dirOcc.Shift(int64(w.dirOcc.Live()) - occBias)
+	w.dirOcc = directory.Occupancy{}
+	w.dirOcc.Shift(occBias)
+	// Recycled directory entries and classifiers return to the master pool;
+	// object identity never affects simulated results.
+	e.entFree = append(e.entFree, w.entFree...)
+	e.clfFree = append(e.clfFree, w.clfFree...)
+	w.entFree = w.entFree[:0]
+	w.clfFree = w.clfFree[:0]
+}
+
+// RunLogLen returns the engine's run-event replay log length; the parallel
+// runner brackets each access with it to delimit per-op log segments.
+func (e *Engine) RunLogLen() int { return len(e.runlog) }
+
+// ReplayRuns applies src's deferred run-tracker events [lo, hi) to the
+// master's tracker; the runner calls it in canonical commit order.
+func (e *Engine) ReplayRuns(src *Engine, lo, hi int) {
+	if e.runs == nil {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ev := &src.runlog[i]
+		if ev.evicted {
+			e.runs.evicted(ev.la)
+		} else {
+			e.runs.record(ev.la, ev.c, ev.write, ev.class)
+		}
+	}
+}
+
+// ResetRunLog empties the replay log (after a round's segments were replayed).
+func (e *Engine) ResetRunLog() { e.runlog = e.runlog[:0] }
+
+// ResetTouched clears the visited-tile record before a checked execution.
+func (e *Engine) ResetTouched() { e.touched = 0 }
+
+// CheckTouched panics if the last execution escaped the declared footprint —
+// a peek under-approximation, which would otherwise surface only as a
+// silent golden-result divergence. The check runs against the narrow State
+// mask (note is only ever called at state-touch points, never on transit
+// tiles), so it also validates the invalidation masks the scheduler's
+// footprint cache depends on.
+func (e *Engine) CheckTouched(fp Footprint, c mem.CoreID, la mem.LineAddr) {
+	if e.touched&^fp.State != 0 {
+		panic(fmt.Sprintf(
+			"coherence: access by core %d to line %#x touched tiles %#x outside its declared state footprint %#x",
+			c, uint64(la), e.touched&^fp.State, fp.State))
+	}
+}

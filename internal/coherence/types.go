@@ -121,6 +121,12 @@ type tile struct {
 	l1i *cache.Cache[l1Meta]
 	l1d *cache.Cache[l1Meta]
 	llc *cache.Cache[llcMeta]
+	// busy[la] is the cycle at which this slice's home entry for la is free
+	// for the next request (the paper's "LLC home waiting time"). Keeping
+	// the map per tile (rather than engine-global keyed by (home, line))
+	// lets the parallel scheduler treat it as tile state: transactions with
+	// disjoint tile footprints never touch the same map.
+	busy map[mem.LineAddr]mem.Cycles
 }
 
 // l1For returns the L1 cache serving the access type.

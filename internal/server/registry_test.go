@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -208,10 +209,69 @@ func TestMetricsEndpoint(t *testing.T) {
 		"lard_store_computes_total 1",
 		"lard_store_evictions_total 0",
 		"lard_queue_cap 8",
+		// A two-worker pool guards SimWorkers back to 1, so the intra-run
+		// scheduler families render at zero here; the nonzero path is
+		// covered by TestMetricsParallelCounters.
+		"lard_sim_parallel_rounds_total 0",
+		"lard_sim_parallel_conflicts_total 0",
+		"lard_sim_parallel_commits_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestMetricsParallelCounters pushes one run through a single-worker server
+// with intra-run parallelism enabled and checks that the scheduler's round,
+// conflict and commit counters accumulate into /metrics. A resubmission of
+// the same run answers from the store and must leave the counters untouched
+// (cached results carry no scheduler work).
+func TestMetricsParallelCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SimWorkers: 2})
+	scrape := func() (rounds, commits uint64) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		for _, line := range strings.Split(string(body), "\n") {
+			if v, ok := strings.CutPrefix(line, "lard_sim_parallel_rounds_total "); ok {
+				if _, err := fmt.Sscanf(v, "%d", &rounds); err != nil {
+					t.Fatalf("bad rounds line %q: %v", line, err)
+				}
+			}
+			if v, ok := strings.CutPrefix(line, "lard_sim_parallel_commits_total "); ok {
+				if _, err := fmt.Sscanf(v, "%d", &commits); err != nil {
+					t.Fatalf("bad commits line %q: %v", line, err)
+				}
+			}
+		}
+		return rounds, commits
+	}
+
+	code, job := post(t, ts, smallRun(43))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit = %d", code)
+	}
+	if v := poll(t, ts, job.ID); v.Status != StatusDone {
+		t.Fatalf("run finished %q: %s", v.Status, v.Error)
+	}
+	rounds, commits := scrape()
+	if rounds == 0 || commits == 0 {
+		t.Fatalf("parallel run accumulated no scheduler work: rounds=%d commits=%d", rounds, commits)
+	}
+	if rounds > commits {
+		t.Fatalf("more rounds than commits (%d > %d): every round must commit at least one access", rounds, commits)
+	}
+
+	if code, _ := post(t, ts, smallRun(43)); code != http.StatusOK {
+		t.Fatalf("cached resubmit = %d, want 200", code)
+	}
+	if r2, c2 := scrape(); r2 != rounds || c2 != commits {
+		t.Fatalf("cached run moved the counters: rounds %d->%d, commits %d->%d", rounds, r2, commits, c2)
 	}
 }
 

@@ -1,0 +1,751 @@
+// Conflict-aware parallel access scheduling: the intra-run parallel
+// execution mode behind Options.Workers.
+//
+// The sequential loop processes one access at a time in global
+// (time, core) order. This file replaces that loop, when Workers > 1 and
+// the engine is coherence.ParallelSafe, with a round-based scheduler:
+//
+//  1. Scan: drain the event scheduler. Finish and barrier events are
+//     engine-free bookkeeping and are applied immediately (a barrier can
+//     only release when no running core still has an access in flight, so
+//     eager processing cannot reorder anything observable). Real accesses
+//     become round candidates with their operation already decoded.
+//  2. Peek: compute each candidate's conservative conflict footprint
+//     (coherence.PeekAccess) — read-only, fanned out across the lanes.
+//     Footprints are cached across rounds: a deferred candidate is only
+//     re-peeked when a committed access wrote inside its footprint.
+//  3. Select: walk candidates in canonical (time, core) order keeping a
+//     running union of footprint tiles. A candidate whose footprint is
+//     disjoint from the union — and whose wake time clears the lookahead
+//     guard against successor events that do not exist yet (see
+//     selectRound) — is selected; every candidate's footprint joins the
+//     union regardless, so an access never overtakes an earlier
+//     conflicting one. Page-table-mutating accesses (Footprint.Global)
+//     only run alone, at the head of a round.
+//  4. Execute: selected accesses run concurrently, round-robin across the
+//     worker lanes (the master engine is lane 0; the rest are clones
+//     sharing the simulated machine with private accumulators). Each
+//     execution is checked against its declared footprint and panics on
+//     escape. After its candidate completes, a lane chains the same core
+//     forward through consecutive L1 hits (see execTask): a hit touches
+//     only the core's own tile and its wake times are exact, so whole
+//     hit runs advance concurrently as long as they stay under the
+//     lookahead horizon and no other candidate claims the tile. The
+//     chains are where the speedup lives — between LLC misses every
+//     core's hit run progresses in parallel.
+//  5. Merge + commit: lane accumulators fold into the master (exact in
+//     any order — every energy quantum is a small integer), then the
+//     round's executed steps commit through runState.commit in canonical
+//     (time, core) order — a k-way merge over the per-core chains:
+//     aggregates, run-tracker replay, progress/interrupt/telemetry
+//     cadence all happen at the same operation counts a sequential run
+//     would produce, and each core reschedules at its last chained
+//     completion.
+//
+// Selected accesses commute (disjoint footprints over tile-covered state)
+// and deferred accesses observe every conflicting predecessor's effects,
+// so the result is identical to the sequential loop's by construction —
+// the golden-grid tests pin this byte-for-byte at several widths.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"lard/internal/coherence"
+	"lard/internal/mem"
+)
+
+// parStats counts the parallel scheduler's efficiency telemetry:
+// commits/rounds is the achieved per-round parallelism, and
+// conflicts/(commits+conflicts) the fraction of candidate scheduling
+// opportunities lost to footprint conflicts. All zero on sequential runs.
+type parStats struct {
+	rounds    uint64
+	conflicts uint64
+	commits   uint64
+}
+
+// parStep is one executed access awaiting commit: a selected candidate or
+// one of its chained L1 hits. Steps live in per-lane buffers (no sharing;
+// reused across rounds) and commit in canonical (now, core) order.
+type parStep struct {
+	now          mem.Cycles // event (wake) time — canonical-order key
+	gap          mem.Cycles
+	res          coherence.AccessResult
+	logLo, logHi int
+}
+
+// parTask is one candidate access flowing through a scheduling round. A
+// task deferred by a conflict stays a candidate (its core has no scheduler
+// event until the access commits); its footprint is kept until a committed
+// access invalidates it.
+type parTask struct {
+	core     mem.CoreID
+	now      mem.Cycles // event (wake) time — canonical-order key
+	t        mem.Cycles // issue time: now + gap
+	gap      mem.Cycles
+	op       coherence.Op
+	fp       coherence.Footprint
+	low      mem.Cycles // lookahead bound: earliest possibly-conflicting future event
+	hit      bool       // candidate peeked as an L1 hit (footprint = own tile)
+	fpValid  bool       // footprint computed and not invalidated since
+	selected bool
+
+	// Set at selection time for selected tasks.
+	chainOK bool       // no other candidate claims this tile: lane may chain L1 hits
+	bLow    mem.Cycles // lookahead horizon: min (low, core) over the other candidates
+	bCore   mem.CoreID
+
+	// Execution outputs, written by the owning lane, read by the master
+	// after the round's join: steps [stepLo, stepHi) of lane's buffer.
+	lane           int
+	stepLo, stepHi int
+}
+
+// Lane phase commands.
+const (
+	phasePeek = iota + 1
+	phaseExec
+)
+
+// peekFanoutMin is the stale-candidate count below which the master computes
+// all footprints itself: a footprint probe costs a small fraction of an
+// access, so waking the lanes for a handful of probes costs more than it
+// saves.
+const peekFanoutMin = 8
+
+// execFanoutMin is the selected-set size below which the master executes the
+// whole round itself (selected accesses commute, so any execution order
+// works): a lane wake/join round-trip costs several accesses' worth of
+// work, so tiny rounds run faster inline.
+const execFanoutMin = 4
+
+// parRun is the shared state of one parallel run: the master goroutine
+// mutates cands/sel strictly between lane phases, and the lane channels'
+// happens-before edges publish them.
+type parRun struct {
+	st      *runState
+	workers int
+	lanes   []*coherence.Engine
+	cands   []parTask
+	sel     []*parTask
+	steps   [][]parStep  // per-lane step buffers, reset each round
+	cursor  []int        // per-selected-task commit cursor (k-way merge)
+	heads   []mem.Cycles // per-selected-task next-step wake (noHorizon = done)
+
+	// Per-core hit-run lookahead cache: runEnd[c] is the wake of core c's
+	// first possibly-non-hit event (hitRunEnd), valid while runEndOK[c] —
+	// invalidated only when a committed miss touches c's L1 (the core's
+	// own included), the one way the run can change.
+	runEnd   []mem.Cycles
+	runEndOK []bool
+	missIdx  []int // scratch: this round's non-hit candidate indices
+
+	// fanLanes gates the worker goroutines: with a single schedulable CPU
+	// (GOMAXPROCS 1) the lanes could only timeshare the master's processor,
+	// so every wake/join round-trip would cost a context switch and return
+	// nothing — the master then executes all lanes' shares itself. The
+	// schedule, and therefore the results, are identical either way; lane
+	// count is purely an execution resource.
+	fanLanes bool
+}
+
+// runParallel executes the run with the given lane count. It returns true
+// when the run was interrupted. The master participates as lane 0, so
+// workers lanes means workers-1 extra goroutines, parked between phases.
+func (st *runState) runParallel(workers int) (interrupted bool) {
+	if workers > st.n {
+		workers = st.n
+	}
+	eng := st.eng
+	clones := eng.PrepareParallel(workers)
+	defer eng.FinishParallel()
+
+	pr := &parRun{
+		st:       st,
+		workers:  workers,
+		lanes:    make([]*coherence.Engine, workers),
+		cands:    make([]parTask, 0, st.n),
+		sel:      make([]*parTask, 0, st.n),
+		steps:    make([][]parStep, workers),
+		cursor:   make([]int, 0, st.n),
+		heads:    make([]mem.Cycles, 0, st.n),
+		runEnd:   make([]mem.Cycles, st.n),
+		runEndOK: make([]bool, st.n),
+		missIdx:  make([]int, 0, st.n),
+	}
+	pr.lanes[0] = eng
+	copy(pr.lanes[1:], clones)
+	for w := range pr.steps {
+		pr.steps[w] = make([]parStep, 0, 4*opChunk)
+	}
+	pr.fanLanes = workers > 1 && runtime.GOMAXPROCS(0) > 1
+
+	cmd := make([]chan int, workers)
+	done := make(chan struct{}, workers)
+	if pr.fanLanes {
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			cmd[w] = make(chan int, 1)
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for ph := range cmd[w] {
+					if ph == phasePeek {
+						pr.peekLane(w)
+					} else {
+						pr.execLane(w)
+					}
+					done <- struct{}{}
+				}
+			}(w)
+		}
+		defer func() {
+			for w := 1; w < workers; w++ {
+				close(cmd[w])
+			}
+			wg.Wait()
+		}()
+	}
+
+	for {
+		// Phase 1: drain the scheduler into candidates; finishes and
+		// barriers apply immediately (see the package comment for why that
+		// is order-safe).
+		if !pr.scan() {
+			return false // every core finished and nothing is deferred
+		}
+		st.par.rounds++
+
+		// Phase 2: conflict footprints for every candidate whose cached
+		// footprint was invalidated (or never computed).
+		pr.peek(cmd, done)
+
+		// Phase 3: canonical-order selection under the running tile union.
+		pr.selectRound()
+
+		// Phase 4: concurrent execution on the lanes — each selected
+		// candidate plus its L1-hit chain.
+		pr.exec(cmd, done)
+
+		// Phase 5: merge lane accumulators, then commit every executed step
+		// in canonical (time, core) order — a k-way merge over the per-core
+		// chains, each of which is already sorted.
+		for _, cl := range clones {
+			eng.MergeWorker(cl)
+		}
+		stop := pr.commitRound()
+		eng.ResetRunLog()
+		for _, cl := range clones {
+			cl.ResetRunLog()
+		}
+		if stop {
+			return true
+		}
+
+		// Compact: committed tasks leave; deferred ones stay candidates,
+		// dropping cached analysis this round's commits could have changed.
+		// Pure-hit chains write only their own L1, which no other
+		// candidate's peek reads; only miss transactions invalidate
+		// anything, and only through their State masks — a probe reads tile
+		// state, never mesh-route occupancy, so a committed miss that
+		// merely shares routes with a cached footprint leaves it valid
+		// (Global commits, which mutate the page table every probe reads,
+		// invalidate everything).
+		var missState, missL1 uint64
+		for _, t := range pr.sel {
+			if t.fp.Global {
+				missState, missL1 = ^uint64(0), ^uint64(0)
+				break
+			}
+			if !t.hit {
+				missState |= t.fp.State
+				missL1 |= t.fp.L1
+			}
+		}
+		if missL1 != 0 {
+			for c := range pr.runEndOK {
+				if missL1&(1<<uint(c)) != 0 {
+					pr.runEndOK[c] = false
+				}
+			}
+		}
+		live := pr.cands[:0]
+		for i := range pr.cands {
+			t := &pr.cands[i]
+			if t.selected {
+				continue
+			}
+			if t.hit {
+				// A hit candidate's analysis reads only its own L1.
+				if missL1&(1<<uint(t.core)) != 0 {
+					t.fpValid = false
+				}
+			} else if t.fp.Reads&missState != 0 {
+				t.fpValid = false
+			}
+			live = append(live, *t)
+		}
+		pr.cands = live
+	}
+}
+
+// scan drains the scheduler, applying finish/barrier events directly and
+// decoding real accesses into candidates. It reports whether any candidate
+// is pending (false = the run completed).
+func (pr *parRun) scan() bool {
+	st := pr.st
+	sch, bufs, pos, cnt := st.sch, st.bufs, st.pos, st.cnt
+	for sch.active > 0 {
+		now, c := sch.pop()
+		if pos[c] == cnt[c] {
+			cnt[c] = st.w.Streams[c].Fill(bufs[int(c)*opChunk : (int(c)+1)*opChunk])
+			pos[c] = 0
+		}
+		if cnt[c] == 0 {
+			st.coreFinished(c, now)
+			continue
+		}
+		op := &bufs[int(c)*opChunk+pos[c]]
+		pos[c]++
+		if op.Barrier {
+			st.coreAtBarrier(c, now)
+			continue
+		}
+		pr.cands = append(pr.cands, parTask{
+			core: c,
+			now:  now,
+			t:    now + mem.Cycles(op.Gap),
+			gap:  mem.Cycles(op.Gap),
+			op: coherence.Op{
+				Type:  op.Type,
+				Line:  mem.LineOf(op.Addr),
+				Class: op.Class,
+			},
+		})
+	}
+	if len(pr.cands) == 0 {
+		return false
+	}
+	// Canonical (time, core) order — the order the sequential loop would
+	// process these events in. Insertion sort: at most one entry per core
+	// and the deferred prefix is already sorted.
+	cands := pr.cands
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && taskBefore(&cands[j], &cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	return true
+}
+
+// taskBefore is the canonical event order: time, then core id.
+func taskBefore(a, b *parTask) bool {
+	return a.now < b.now || (a.now == b.now && a.core < b.core)
+}
+
+// peek computes the footprint of every candidate that lacks a valid cached
+// one, fanning out across the lanes when the stale set is large enough to
+// amortize the wake-up. A cached footprint stays valid because PeekAccess
+// only reads state on tiles inside the footprint it returns (plus the page
+// table, which only Global accesses mutate — and a committed Global
+// invalidates every cache): if no committed access wrote a footprint tile,
+// the probe would compute the same answer again.
+func (pr *parRun) peek(cmd []chan int, done chan struct{}) {
+	stale := 0
+	for i := range pr.cands {
+		if !pr.cands[i].fpValid {
+			stale++
+		}
+	}
+	if stale == 0 {
+		return
+	}
+	if !pr.fanLanes || stale < peekFanoutMin {
+		for i := range pr.cands {
+			if !pr.cands[i].fpValid {
+				pr.peekTask(pr.st.eng, &pr.cands[i])
+			}
+		}
+		return
+	}
+	active := 0
+	for w := 1; w < pr.workers && w < stale; w++ {
+		cmd[w] <- phasePeek
+		active++
+	}
+	pr.peekLane(0)
+	for ; active > 0; active-- {
+		<-done
+	}
+}
+
+// peekLane computes the footprints of lane w's candidate share. The probes
+// are strictly read-only against the master engine, so lanes may overlap.
+func (pr *parRun) peekLane(w int) {
+	eng := pr.st.eng
+	for i := w; i < len(pr.cands); i += pr.workers {
+		if !pr.cands[i].fpValid {
+			pr.peekTask(eng, &pr.cands[i])
+		}
+	}
+}
+
+// peekTask classifies one candidate. An L1 hit needs no directory probe at
+// all: it is confined to the core's own L1 line by construction, so its
+// footprint is the single own tile. Everything else takes the full
+// PeekAccess walk.
+func (pr *parRun) peekTask(eng *coherence.Engine, t *parTask) {
+	if eng.PeekL1Hit(t.core, t.op) {
+		t.hit = true
+		t.fp = coherence.Footprint{
+			Tiles:  1 << uint(t.core),
+			L1:     1 << uint(t.core),
+			State:  1 << uint(t.core),
+			Reads:  1 << uint(t.core),
+			MinLat: eng.L1HitLatency(),
+		}
+	} else {
+		t.hit = false
+		t.fp = eng.PeekAccess(t.core, t.op)
+	}
+	t.fpValid = true
+}
+
+// hitRunEnd returns the wake time of core c's first possibly-non-hit event:
+// the end of the run of consecutive peeked L1 hits starting at hit
+// candidate t. Hit-ness is stable under the core's own hits and every hit
+// completes in exactly L1HitLatency, so these wakes are exact, not bounds.
+// The walk stops at a barrier, the chunk boundary, or the first op that
+// does not peek as a hit — whatever event sits there is the first one whose
+// behaviour the scheduler cannot predict. The result is cached per core:
+// it stays correct across the core's own hit commits (the remaining wakes
+// do not move) and is dropped only when a committed miss may have touched
+// the core's L1. A cached value behind the candidate's own completion
+// (previous chunk) is recomputed.
+func (pr *parRun) hitRunEnd(t *parTask) mem.Cycles {
+	st := pr.st
+	c := t.core
+	lat := st.eng.L1HitLatency()
+	end := t.t + lat // candidate completion: wake of the core's next event
+	if pr.runEndOK[c] && pr.runEnd[c] >= end {
+		return pr.runEnd[c]
+	}
+	base := int(c) * opChunk
+	for i := st.pos[c]; i < st.cnt[c]; i++ {
+		op := &st.bufs[base+i]
+		if op.Barrier || !st.eng.PeekL1Hit(c, coherence.Op{Type: op.Type, Line: mem.LineOf(op.Addr), Class: op.Class}) {
+			break
+		}
+		end += mem.Cycles(op.Gap) + lat
+	}
+	pr.runEnd[c], pr.runEndOK[c] = end, true
+	return end
+}
+
+// noHorizon marks a selected task with no other candidate: its chain is
+// bounded only by its own misses (no other core can generate events).
+const noHorizon = ^mem.Cycles(0)
+
+// selectRound picks the round's concurrent set: candidates in canonical
+// order whose footprints are disjoint from everything scheduled or blocked
+// before them, and whose wake time clears the lookahead guard below.
+// Blocked footprints join the union too, so no access ever overtakes an
+// earlier conflicting access. The head candidate is always selectable — a
+// round commits at least one access, so the run advances.
+//
+// The lookahead guard closes the one hazard the footprint union cannot see:
+// events that do not exist yet. A committed access reschedules its core at
+// its completion time, and that successor event can carry a wake time
+// canonically *before* an already-running candidate's — the sequential loop
+// would then process the successor first, and if the two conflict, in a
+// different state. Every future event descends from some current candidate
+// X (finished cores produce nothing, barrier-parked cores cannot release
+// while any candidate's core is running), belongs to X's core, and cannot
+// wake before X's issue time plus its footprint's MinLat — so a candidate
+// is safe to execute exactly when its own (wake, core) orders before that
+// bound for every other candidate. The same bound caps each selected
+// task's L1-hit chain (execTask): chained wakes are exact completion
+// times, each ≥ the task's own low, so other tasks' horizons stay sound
+// as every chain advances.
+//
+// Chaining additionally requires the task's tile to be claimed by no other
+// candidate's footprint (dup below): a chained hit executes at wake times
+// beyond deferred candidates', which is only order-safe while it cannot
+// touch state any of them will.
+func (pr *parRun) selectRound() {
+	st := pr.st
+	pr.sel = pr.sel[:0]
+	cands := pr.cands
+
+	// Lookahead lows. A miss candidate's successors cannot wake before its
+	// issue time plus its footprint's MinLat. A hit candidate is much
+	// stronger: hit-ness is stable under the core's own hits, so the whole
+	// peeked run of consecutive hits has exact wake times and the core's
+	// first possibly-conflicting event is the run's first non-hit
+	// (hitRunEnd) — unless a miss candidate's invalidation fan-out can
+	// reach this core's L1 and cut the run short, which caps the bound at
+	// that candidate's wake.
+	pr.missIdx = pr.missIdx[:0]
+	for i := range cands {
+		if !cands[i].hit {
+			pr.missIdx = append(pr.missIdx, i)
+		}
+	}
+	// Two smallest (low, core) entries: each candidate's guard bound is the
+	// minimum over the *other* candidates, so the argmin uses the runner-up.
+	i1, i2 := -1, -1
+	for i := range cands {
+		t := &cands[i]
+		if t.hit {
+			t.low = pr.hitRunEnd(t)
+			for _, j := range pr.missIdx {
+				w := &cands[j]
+				if (w.fp.Global || w.fp.L1&(1<<uint(t.core)) != 0) && w.now < t.low {
+					t.low = w.now
+				}
+			}
+		} else {
+			t.low = t.t + t.fp.MinLat
+		}
+		if i1 < 0 || lowBefore(t, &cands[i1]) {
+			i1, i2 = i, i1
+		} else if i2 < 0 || lowBefore(t, &cands[i2]) {
+			i2 = i
+		}
+	}
+	// Running unions in canonical order. A pure hit reads and writes
+	// nothing but its own L1 line, so it conflicts with an earlier
+	// candidate only when a miss's invalidation fan-out may reach its L1
+	// (missL1); sharing mesh routes or LLC slices with miss traffic is not
+	// a conflict because a hit never touches them. A miss conflicts
+	// tile-wise with earlier miss footprints (missTiles) and with any
+	// earlier hit whose L1 its fan-out may touch (hitTiles). dup tracks
+	// tiles whose private L1 more than one candidate may touch — the
+	// chaining barrier (see execTask).
+	var missTiles, missL1, hitTiles, unionL1, dup uint64
+	for i := range cands {
+		t := &cands[i]
+		t.selected = false
+		if t.fp.Global {
+			// Page-table mutation: only runs alone at the head of a round
+			// (the master executes it solo); afterwards it blocks the rest
+			// of the round like a full-chip footprint. The head is immune
+			// to the lookahead hazard: successor events never order before
+			// the globally minimal (wake, core).
+			if i == 0 {
+				t.selected = true
+				pr.sel = append(pr.sel, t)
+			} else {
+				st.par.conflicts++
+			}
+			missTiles, missL1, hitTiles = ^uint64(0), ^uint64(0), ^uint64(0)
+			unionL1, dup = ^uint64(0), ^uint64(0)
+			continue
+		}
+		dup |= unionL1 & t.fp.L1
+		unionL1 |= t.fp.L1
+		var conflict bool
+		if t.hit {
+			conflict = missL1&(1<<uint(t.core)) != 0
+		} else {
+			conflict = t.fp.Tiles&missTiles != 0 || t.fp.L1&hitTiles != 0
+		}
+		// The head needs no guard: its (wake, core) is globally minimal, so
+		// every future event orders after it — and without the exemption a
+		// cutter-capped low equal to the head's own wake could deadlock the
+		// round by deferring everyone.
+		if conflict || (i > 0 && !pr.guarded(i, i1, i2)) {
+			st.par.conflicts++
+		} else {
+			t.selected = true
+			pr.sel = append(pr.sel, t)
+		}
+		// Deferred candidates block later conflicting ones too: an access
+		// never overtakes an earlier conflicting access.
+		if t.hit {
+			hitTiles |= 1 << uint(t.core)
+		} else {
+			missTiles |= t.fp.Tiles
+			missL1 |= t.fp.L1
+		}
+	}
+	for _, t := range pr.sel {
+		t.chainOK = !t.fp.Global && dup&(1<<uint(t.core)) == 0
+		t.bLow, t.bCore = noHorizon, 0
+		if o := pr.other(i1, i2, t); o >= 0 {
+			t.bLow, t.bCore = cands[o].low, cands[o].core
+		}
+	}
+}
+
+// lowBefore orders candidates by (low, core): the earliest (wake, core) any
+// successor event of the candidate's core can carry.
+func lowBefore(a, b *parTask) bool {
+	return a.low < b.low || (a.low == b.low && a.core < b.core)
+}
+
+// other returns the index of the candidate with the smallest (low, core)
+// among all candidates other than t, or -1 when t is the sole candidate.
+func (pr *parRun) other(i1, i2 int, t *parTask) int {
+	if i1 >= 0 && &pr.cands[i1] != t {
+		return i1
+	}
+	return i2
+}
+
+// guarded reports whether candidate i's wake orders canonically before the
+// earliest possible successor event of every other candidate.
+func (pr *parRun) guarded(i, i1, i2 int) bool {
+	o := i1
+	if o == i {
+		o = i2
+	}
+	if o < 0 {
+		return true // sole candidate: no other core can generate events
+	}
+	t, b := &pr.cands[i], &pr.cands[o]
+	return t.now < b.low || (t.now == b.low && t.core < b.core)
+}
+
+// exec runs the selected accesses. Small rounds run inline on the master
+// (selected accesses commute, so sequential execution is just another valid
+// order); larger rounds fan out round-robin across the lanes with the
+// master working lane 0's share.
+func (pr *parRun) exec(cmd []chan int, done chan struct{}) {
+	for w := range pr.steps {
+		pr.steps[w] = pr.steps[w][:0]
+	}
+	if len(pr.sel) == 1 && pr.sel[0].fp.Global {
+		// Solo by construction: free to touch the page table; no
+		// containment check applies, and the next access may rehome, so
+		// the chain never extends past it.
+		t := pr.sel[0]
+		eng := pr.st.eng
+		lo := eng.RunLogLen()
+		res := eng.Access(t.core, t.t, t.op)
+		t.lane, t.stepLo = 0, 0
+		pr.steps[0] = append(pr.steps[0], parStep{now: t.now, gap: t.gap, res: res, logLo: lo, logHi: eng.RunLogLen()})
+		t.stepHi = 1
+		return
+	}
+	if !pr.fanLanes || len(pr.sel) < execFanoutMin {
+		for _, t := range pr.sel {
+			pr.execTask(0, t)
+		}
+		return
+	}
+	active := 0
+	for w := 1; w < pr.workers && w < len(pr.sel); w++ {
+		cmd[w] <- phaseExec
+		active++
+	}
+	pr.execLane(0)
+	for ; active > 0; active-- {
+		<-done
+	}
+}
+
+// execLane executes lane w's share of the selected set.
+func (pr *parRun) execLane(w int) {
+	for i := w; i < len(pr.sel); i += pr.workers {
+		pr.execTask(w, pr.sel[i])
+	}
+}
+
+// execTask runs one selected candidate on lane w, then chains the same core
+// forward through consecutive L1 hits. A chained hit is order-safe because
+// it is provably confined to the core's own tile (PeekL1Hit on a
+// ParallelSafe engine), no other candidate claims that tile (chainOK), and
+// its wake — the exact completion time of the previous step — still orders
+// before the earliest event any other candidate can generate (bLow). The
+// chain stops at a barrier or chunk boundary (the master's scan handles
+// both), at the first non-hit, or at the horizon.
+func (pr *parRun) execTask(w int, t *parTask) {
+	lane := pr.lanes[w]
+	t.lane = w
+	t.stepLo = len(pr.steps[w])
+	pr.execStep(w, lane, t, t.now, t.gap, t.op, t.fp)
+	if t.chainOK {
+		st := pr.st
+		c := t.core
+		base := int(c) * opChunk
+		pos, cnt, bufs := st.pos, st.cnt, st.bufs
+		for {
+			wake := pr.steps[w][len(pr.steps[w])-1].res.Done
+			if !(wake < t.bLow || (wake == t.bLow && c < t.bCore)) {
+				break
+			}
+			if pos[c] == cnt[c] {
+				break // chunk exhausted: refilling is the master's job
+			}
+			op := &bufs[base+pos[c]]
+			if op.Barrier {
+				break
+			}
+			cop := coherence.Op{Type: op.Type, Line: mem.LineOf(op.Addr), Class: op.Class}
+			if !lane.PeekL1Hit(c, cop) {
+				break
+			}
+			pos[c]++
+			fp := coherence.Footprint{Tiles: 1 << uint(c), State: 1 << uint(c)}
+			pr.execStep(w, lane, t, wake, mem.Cycles(op.Gap), cop, fp)
+		}
+	}
+	t.stepHi = len(pr.steps[w])
+}
+
+// execStep runs one access on a lane, checks footprint containment, and
+// appends the pending commit to the lane's step buffer.
+func (pr *parRun) execStep(w int, lane *coherence.Engine, t *parTask, wake, gap mem.Cycles, op coherence.Op, fp coherence.Footprint) {
+	lane.ResetTouched()
+	lo := lane.RunLogLen()
+	res := lane.Access(t.core, wake+gap, op)
+	lane.CheckTouched(fp, t.core, op.Line)
+	pr.steps[w] = append(pr.steps[w], parStep{now: wake, gap: gap, res: res, logLo: lo, logHi: lane.RunLogLen()})
+}
+
+// commitRound folds the round's executed steps into the run state in
+// canonical (time, core) order: a k-way merge over the selected tasks'
+// chains (each already sorted by construction). Each core reschedules at
+// its final chained completion — the intermediate wakes were consumed by
+// the chain, exactly as the sequential loop would have popped them.
+func (pr *parRun) commitRound() (stop bool) {
+	st := pr.st
+	eng := st.eng
+	// heads[i] caches chain i's next uncommitted wake time (or exhausted =
+	// noHorizon), so the merge's inner argmin scans a flat cycle array
+	// instead of chasing step buffers.
+	pr.cursor = pr.cursor[:0]
+	pr.heads = pr.heads[:0]
+	remaining := 0
+	for _, t := range pr.sel {
+		pr.cursor = append(pr.cursor, t.stepLo)
+		pr.heads = append(pr.heads, pr.steps[t.lane][t.stepLo].now)
+		remaining += t.stepHi - t.stepLo
+	}
+	for ; remaining > 0; remaining-- {
+		best := 0
+		bw := pr.heads[0]
+		for i := 1; i < len(pr.heads); i++ {
+			if now := pr.heads[i]; now < bw || (now == bw && pr.sel[i].core < pr.sel[best].core) {
+				best, bw = i, now
+			}
+		}
+		t := pr.sel[best]
+		s := &pr.steps[t.lane][pr.cursor[best]]
+		pr.cursor[best]++
+		if pr.cursor[best] == t.stepHi {
+			pr.heads[best] = noHorizon
+		} else {
+			pr.heads[best] = pr.steps[t.lane][pr.cursor[best]].now
+		}
+		eng.ReplayRuns(pr.lanes[t.lane], s.logLo, s.logHi)
+		st.par.commits++
+		if st.commitStep(t.core, s.gap, s.res, pr.cursor[best] == t.stepHi) {
+			return true
+		}
+	}
+	return false
+}

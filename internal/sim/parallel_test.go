@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"lard/internal/coherence"
+	"lard/internal/config"
+	"lard/internal/trace"
+)
+
+// TestParallelCancelRace churns the worker lanes against asynchronous
+// interrupts: repeated parallel runs are cut short at varying points (and
+// sometimes not at all) while lane goroutines are live, exercising the
+// abort path's lane shutdown under the race detector. GOMAXPROCS is raised
+// so the scheduler actually fans out on single-CPU hosts.
+func TestParallelCancelRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	p, err := trace.ProfileByName("DEDUP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Small()
+	cfg.RT = 3
+	for i := 0; i < 24; i++ {
+		stop := make(chan struct{})
+		if delay := time.Duration(i%8) * 150 * time.Microsecond; i%8 != 7 {
+			// i%8 == 7 leaves the run uninterrupted end to end.
+			go func() {
+				time.Sleep(delay)
+				close(stop)
+			}()
+		}
+		res := Run(cfg, p, Options{
+			Scheme:        coherence.LocalityAware,
+			OpsScale:      0.05,
+			Workers:       4,
+			ProgressEvery: 128,
+			Interrupt:     stop,
+		})
+		if i%8 == 7 && res == nil {
+			t.Fatal("uninterrupted run returned nil")
+		}
+		if res != nil && res.Ops == 0 {
+			t.Fatal("completed run recorded no ops")
+		}
+	}
+}
+
+// TestParallelWorkersIdentical pins the scheduler's determinism contract at
+// the package level: the same run through 1, 2, 3 and 4 lanes produces
+// field-identical results (the top-level golden grid pins the hashes; this
+// covers a scheme/width combination per push without the full grid).
+func TestParallelWorkersIdentical(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	p, err := trace.ProfileByName("FERRET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Small()
+	cfg.RT = 3
+	base := Run(cfg, p, Options{Scheme: coherence.LocalityAware, OpsScale: 0.05, TrackRuns: true})
+	for _, w := range []int{2, 3, 4} {
+		r := Run(cfg, p, Options{Scheme: coherence.LocalityAware, OpsScale: 0.05, TrackRuns: true, Workers: w})
+		if r.CompletionTime != base.CompletionTime || r.Ops != base.Ops ||
+			r.EnergyTotal() != base.EnergyTotal() {
+			t.Fatalf("workers=%d diverged: completion %d vs %d, ops %d vs %d",
+				w, r.CompletionTime, base.CompletionTime, r.Ops, base.Ops)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"math/bits"
 	"time"
 
 	"lard/internal/coherence"
@@ -44,6 +45,19 @@ type Options struct {
 	CheckInvariants bool `json:"CheckInvariants"`
 	// TrackRuns enables the Figure-1 run-length tracker.
 	TrackRuns bool `json:"TrackRuns"`
+	// Workers is the intra-run parallelism width: the number of lanes the
+	// conflict-aware scheduler may execute footprint-disjoint accesses on
+	// (see parallel.go). 0 and 1 run the classic sequential loop. The
+	// outcome is identical at every width by construction — results commit
+	// in canonical (time, core) order and only provably-commuting accesses
+	// overlap — so the knob is execution plumbing, not run identity, and is
+	// excluded from result keys like the observers above. Negative values
+	// panic: a caller that computed a width got it wrong, and silently
+	// running sequential would hide the bug. Configurations outside the
+	// footprint analysis (ASR's eviction lottery, cluster replication,
+	// TLH-LRU hints, the lookup oracle and ablations, invariant checking)
+	// fall back to the sequential loop regardless of Workers.
+	Workers int `json:"-"`
 	// Progress, when non-nil, is invoked every ProgressEvery executed
 	// memory operations with (operations retired, total operations), and
 	// once more at completion with done == total. A nil Progress costs
@@ -100,6 +114,22 @@ type Result struct {
 	Runs *stats.RunLengthHist
 	// PageReclassifications counts R-NUCA private->shared transitions.
 	PageReclassifications uint64
+	// Parallel is the intra-run scheduler's efficiency telemetry (all zero
+	// on sequential runs). Excluded from the JSON encoding on purpose: the
+	// golden suite hashes Result's canonical JSON to pin that worker count
+	// never changes a simulated outcome, and these counters describe the
+	// execution strategy, not the outcome.
+	Parallel ParallelStats `json:"-"`
+}
+
+// ParallelStats counts the parallel access scheduler's work: scheduling
+// rounds, candidate deferrals (footprint conflicts plus lookahead-guard
+// holds), and committed accesses. Commits/Rounds is the achieved per-round
+// parallelism.
+type ParallelStats struct {
+	Rounds    uint64
+	Conflicts uint64
+	Commits   uint64
 }
 
 // Clone returns an independent deep copy: mutating the clone (for example
@@ -135,8 +165,13 @@ func (r *Result) EnergyTotal() float64 {
 // heap ordered events by (time, then core id), and a strict-< scan in
 // ascending core order realizes exactly that total order.
 type sched struct {
-	next   []mem.Cycles // per-core next wake time; schedIdle = no event
-	active int          // number of cores with a pending wake-up
+	next []mem.Cycles // per-core next wake time; schedIdle = no event
+	// pending has bit c set while core c has a wake-up queued, so pop's
+	// min-scan walks only the cores that can win instead of comparing
+	// every idle lane's schedIdle sentinel. Core counts are capped at 64
+	// (directory.MaxCores), so one word always suffices.
+	pending uint64
+	active  int // number of cores with a pending wake-up
 }
 
 // schedIdle marks a core with no pending event. Real wake times grow by
@@ -150,18 +185,28 @@ const opChunk = 256
 
 // newSched returns a scheduler with all n cores pending at time 0.
 func newSched(n int) *sched {
-	return &sched{next: make([]mem.Cycles, n), active: n}
+	pending := ^uint64(0)
+	if n < 64 {
+		pending = uint64(1)<<uint(n) - 1
+	}
+	return &sched{next: make([]mem.Cycles, n), pending: pending, active: n}
 }
 
 // pop removes and returns the earliest pending (time, core) pair, lowest
-// core id on ties. Only valid while active > 0.
+// core id on ties. Only valid while active > 0. Iterating the pending
+// bits in ascending order with a strict < preserves the lowest-core
+// tie-break of the full scan.
 func (s *sched) pop() (mem.Cycles, mem.CoreID) {
-	best, t := 0, s.next[0]
-	for i := 1; i < len(s.next); i++ {
+	b := s.pending
+	best := bits.TrailingZeros64(b)
+	t := s.next[best]
+	for b &= b - 1; b != 0; b &= b - 1 {
+		i := bits.TrailingZeros64(b)
 		if s.next[i] < t {
 			best, t = i, s.next[i]
 		}
 	}
+	s.pending &^= uint64(1) << uint(best)
 	s.next[best] = schedIdle
 	s.active--
 	return t, mem.CoreID(best)
@@ -170,6 +215,7 @@ func (s *sched) pop() (mem.Cycles, mem.CoreID) {
 // push schedules core c's next wake-up at time t.
 func (s *sched) push(t mem.Cycles, c mem.CoreID) {
 	s.next[c] = t
+	s.pending |= uint64(1) << uint(c)
 	s.active++
 }
 
@@ -212,142 +258,105 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 	w := trace.Generate(p, cfg, opt.OpsScale, opt.Seed)
 	lap(&tm.TraceDecode)
 
-	n := cfg.Cores
-	var (
-		sch        = newSched(n)
-		breakdown  = make([]stats.TimeBreakdown, n)
-		miss       = make([]stats.MissCounts, n)
-		finish     = make([]mem.Cycles, n)
-		atBarrier  = make([]bool, n)
-		arriveAt   = make([]mem.Cycles, n)
-		running    = n
-		waiting    = 0
-		totalOps   uint64
-		completion mem.Cycles
-	)
+	if opt.Workers < 0 {
+		panic("sim: Options.Workers must be non-negative")
+	}
 
-	// Per-core chunk buffers: each stream refills a reusable window of
-	// opChunk operations, so the steady-state loop reads the next operation
-	// from a flat slice instead of paying a generator call per access. One
-	// backing array serves all cores; pos==cnt marks an empty window.
-	bufs := make([]trace.Op, n*opChunk)
-	pos := make([]int, n)
-	cnt := make([]int, n)
+	n := cfg.Cores
+	st := &runState{
+		opt: &opt,
+		eng: eng,
+		w:   w,
+		n:   n,
+		sch: newSched(n),
+
+		breakdown: make([]stats.TimeBreakdown, n),
+		miss:      make([]stats.MissCounts, n),
+		finish:    make([]mem.Cycles, n),
+		atBarrier: make([]bool, n),
+		arriveAt:  make([]mem.Cycles, n),
+		running:   n,
+
+		// Per-core chunk buffers: each stream refills a reusable window of
+		// opChunk operations, so the steady-state loop reads the next
+		// operation from a flat slice instead of paying a generator call per
+		// access. One backing array serves all cores; pos==cnt marks an
+		// empty window.
+		bufs: make([]trace.Op, n*opChunk),
+		pos:  make([]int, n),
+		cnt:  make([]int, n),
+	}
 
 	// Progress/interrupt/telemetry cadence: checkEvery stays 0 when no
 	// observer is wired, so the steady-state cost of this feature is one
-	// integer compare per operation. Remaining() is exact here — the chunk
+	// predictable branch per operation (checkLeft counts down and resets,
+	// sparing the hot path a modulo). Remaining() is exact here — the chunk
 	// windows above are filled lazily, after this count.
-	var checkEvery, targetOps uint64
 	if opt.Progress != nil || opt.Interrupt != nil || opt.Telemetry != nil {
-		checkEvery = opt.ProgressEvery
-		if checkEvery == 0 {
-			checkEvery = DefaultProgressEvery
+		st.checkEvery = opt.ProgressEvery
+		if st.checkEvery == 0 {
+			st.checkEvery = DefaultProgressEvery
 		}
+		st.checkLeft = st.checkEvery
 		for c := 0; c < n; c++ {
-			targetOps += uint64(w.Streams[c].Remaining())
+			st.targetOps += uint64(w.Streams[c].Remaining())
 		}
 	}
 
 	// Telemetry setup happens once per run (allocation is fine here); the
-	// per-sample path below reuses tscratch and never allocates.
-	rec := opt.Telemetry
-	var tscratch []uint64
-	if rec != nil {
-		rec.Start(telemetrySeries)
-		tscratch = make([]uint64, len(telemetrySeries))
+	// per-sample path reuses tscratch and never allocates.
+	if opt.Telemetry != nil {
+		st.rec = opt.Telemetry
+		st.rec.Start(telemetrySeries)
+		st.tscratch = make([]uint64, len(telemetrySeries))
 	}
 
-	for sch.active > 0 {
-		now, c := sch.pop()
-		if pos[c] == cnt[c] {
-			cnt[c] = w.Streams[c].Fill(bufs[int(c)*opChunk : (int(c)+1)*opChunk])
-			pos[c] = 0
+	var interrupted bool
+	if opt.Workers > 1 && n > 1 && eng.ParallelSafe() {
+		interrupted = st.runParallel(opt.Workers)
+	} else {
+		interrupted = st.runSequential()
+	}
+	if interrupted {
+		if st.rec != nil {
+			// Final sample + Flush: the partial timeline of an interrupted
+			// run stays internally consistent.
+			st.sampleTelemetry()
+			st.rec.Flush()
 		}
-		if cnt[c] == 0 {
-			finish[c] = now
-			running--
-			completion = max(completion, now)
-			// A finished core can no longer reach a barrier; if everyone
-			// else is already waiting, release them.
-			if waiting > 0 && waiting == running {
-				releaseBarrier(sch, atBarrier, arriveAt, breakdown, &waiting)
-			}
-			continue
+		if track {
+			lap(&tm.CoherenceLoop)
+			*opt.Timing = tm
 		}
-		op := &bufs[int(c)*opChunk+pos[c]]
-		pos[c]++
-		if op.Barrier {
-			atBarrier[c] = true
-			arriveAt[c] = now
-			waiting++
-			if waiting == running {
-				releaseBarrier(sch, atBarrier, arriveAt, breakdown, &waiting)
-			}
-			continue
-		}
-		t := now + mem.Cycles(op.Gap)
-		breakdown[c][stats.Compute] += mem.Cycles(op.Gap)
-		res := eng.Access(c, t, coherence.Op{
-			Type:  op.Type,
-			Line:  mem.LineOf(op.Addr),
-			Class: op.Class,
-		})
-		breakdown[c].Add(res.Breakdown)
-		miss[c][res.Miss]++
-		totalOps++
-		if checkEvery != 0 && totalOps%checkEvery == 0 {
-			if opt.Interrupt != nil {
-				select {
-				case <-opt.Interrupt:
-					if rec != nil {
-						// Final sample + Flush: the partial timeline of an
-						// interrupted run stays internally consistent.
-						fillTelemetry(tscratch, eng, totalOps, breakdown, miss)
-						rec.Sample(tscratch)
-						rec.Flush()
-					}
-					if track {
-						lap(&tm.CoherenceLoop)
-						*opt.Timing = tm
-					}
-					return nil
-				default:
-				}
-			}
-			if opt.Progress != nil {
-				opt.Progress(totalOps, targetOps)
-			}
-			if rec != nil {
-				fillTelemetry(tscratch, eng, totalOps, breakdown, miss)
-				rec.Sample(tscratch)
-			}
-		}
-		sch.push(res.Done, c)
+		return nil
 	}
 	lap(&tm.CoherenceLoop)
-	if rec != nil {
+	if st.rec != nil {
 		// Final sample (a zero-delta epoch when the op count landed exactly
 		// on the cadence) + Flush: after this, every counter series sums to
 		// its final cumulative value — "ops" to Result.Ops, the miss series
 		// to Result.Miss — which is the conservation the timeline tests pin.
-		fillTelemetry(tscratch, eng, totalOps, breakdown, miss)
-		rec.Sample(tscratch)
-		rec.Flush()
+		st.sampleTelemetry()
+		st.rec.Flush()
 	}
 
 	r := &Result{
 		Benchmark:             p.Name,
 		Scheme:                schemeLabel(cfg, opt),
 		Cores:                 n,
-		Ops:                   totalOps,
-		CompletionTime:        completion,
+		Ops:                   st.totalOps,
+		CompletionTime:        st.completion,
 		EnergyPJ:              eng.Meter().Breakdown(),
 		PageReclassifications: eng.PageReclassifications(),
+		Parallel: ParallelStats{
+			Rounds:    st.par.rounds,
+			Conflicts: st.par.conflicts,
+			Commits:   st.par.commits,
+		},
 	}
 	for c := 0; c < n; c++ {
-		r.Time.Add(breakdown[c])
-		r.Miss.Add(miss[c])
+		r.Time.Add(st.breakdown[c])
+		r.Miss.Add(st.miss[c])
 	}
 	// Per-core average breakdown (what Figure 7 stacks).
 	for i := range r.Time {
@@ -357,13 +366,154 @@ func Run(cfg *config.Config, p trace.Profile, opt Options) *Result {
 		r.Runs = eng.RunHistogram()
 	}
 	if opt.Progress != nil {
-		opt.Progress(totalOps, targetOps)
+		opt.Progress(st.totalOps, st.targetOps)
 	}
 	if track {
 		lap(&tm.Finalize)
 		*opt.Timing = tm
 	}
 	return r
+}
+
+// runState is the mutable state of one run, shared by the sequential event
+// loop and the parallel round scheduler (parallel.go). Both drive the same
+// per-core aggregates through the same commit path, which is what makes
+// their outcomes identical by construction.
+type runState struct {
+	opt *Options
+	eng *coherence.Engine
+	w   *trace.Workload
+	n   int
+
+	sch        *sched
+	breakdown  []stats.TimeBreakdown
+	miss       []stats.MissCounts
+	finish     []mem.Cycles
+	atBarrier  []bool
+	arriveAt   []mem.Cycles
+	running    int
+	waiting    int
+	totalOps   uint64
+	completion mem.Cycles
+
+	bufs []trace.Op
+	pos  []int
+	cnt  []int
+
+	checkEvery uint64
+	checkLeft  uint64
+	targetOps  uint64
+
+	rec      *obs.Recorder
+	tscratch []uint64
+
+	par parStats
+}
+
+// runSequential is the classic single-threaded event loop: strict global
+// (time, core) order, one access at a time. It returns true when the run
+// was interrupted.
+func (st *runState) runSequential() (interrupted bool) {
+	sch, bufs, pos, cnt := st.sch, st.bufs, st.pos, st.cnt
+	for sch.active > 0 {
+		now, c := sch.pop()
+		if pos[c] == cnt[c] {
+			cnt[c] = st.w.Streams[c].Fill(bufs[int(c)*opChunk : (int(c)+1)*opChunk])
+			pos[c] = 0
+		}
+		if cnt[c] == 0 {
+			st.coreFinished(c, now)
+			continue
+		}
+		op := &bufs[int(c)*opChunk+pos[c]]
+		pos[c]++
+		if op.Barrier {
+			st.coreAtBarrier(c, now)
+			continue
+		}
+		t := now + mem.Cycles(op.Gap)
+		res := st.eng.Access(c, t, coherence.Op{
+			Type:  op.Type,
+			Line:  mem.LineOf(op.Addr),
+			Class: op.Class,
+		})
+		if st.commit(c, mem.Cycles(op.Gap), res) {
+			return true
+		}
+	}
+	return false
+}
+
+// coreFinished retires a drained core. A finished core can no longer reach
+// a barrier; if everyone else is already waiting, release them.
+func (st *runState) coreFinished(c mem.CoreID, now mem.Cycles) {
+	st.finish[c] = now
+	st.running--
+	st.completion = max(st.completion, now)
+	if st.waiting > 0 && st.waiting == st.running {
+		releaseBarrier(st.sch, st.atBarrier, st.arriveAt, st.breakdown, &st.waiting)
+	}
+}
+
+// coreAtBarrier parks a core at the barrier, releasing everyone when it is
+// the last runner to arrive.
+func (st *runState) coreAtBarrier(c mem.CoreID, now mem.Cycles) {
+	st.atBarrier[c] = true
+	st.arriveAt[c] = now
+	st.waiting++
+	if st.waiting == st.running {
+		releaseBarrier(st.sch, st.atBarrier, st.arriveAt, st.breakdown, &st.waiting)
+	}
+}
+
+// commit applies one executed access to the run aggregates and reschedules
+// the core. This is the single commit path of both execution modes: the
+// parallel scheduler calls it in canonical (time, core) order, so cadence
+// work (progress, interrupt polling, telemetry epochs) happens at the same
+// operation counts as a sequential run. It returns true when the run was
+// interrupted.
+func (st *runState) commit(c mem.CoreID, gap mem.Cycles, res coherence.AccessResult) (stop bool) {
+	return st.commitStep(c, gap, res, true)
+}
+
+// commitStep is commit with the reschedule made optional: the parallel
+// scheduler's L1-hit chains consume a core's intermediate wake events
+// inside one round, so only a chain's final step pushes the core's next
+// event — exactly the scheduler state a sequential run would have left.
+func (st *runState) commitStep(c mem.CoreID, gap mem.Cycles, res coherence.AccessResult, resched bool) (stop bool) {
+	st.breakdown[c][stats.Compute] += gap
+	st.breakdown[c].Add(res.Breakdown)
+	st.miss[c][res.Miss]++
+	st.totalOps++
+	if st.checkEvery != 0 {
+		st.checkLeft--
+		if st.checkLeft == 0 {
+			st.checkLeft = st.checkEvery
+			if st.opt.Interrupt != nil {
+				select {
+				case <-st.opt.Interrupt:
+					return true
+				default:
+				}
+			}
+			if st.opt.Progress != nil {
+				st.opt.Progress(st.totalOps, st.targetOps)
+			}
+			if st.rec != nil {
+				st.sampleTelemetry()
+			}
+		}
+	}
+	if resched {
+		st.sch.push(res.Done, c)
+	}
+	return false
+}
+
+// sampleTelemetry records one epoch sample from the run's live counters.
+func (st *runState) sampleTelemetry() {
+	fillTelemetry(st.tscratch, st.eng, st.totalOps, st.breakdown, st.miss, &st.par)
+	st.rec.Sample(st.tscratch)
 }
 
 // releaseBarrier wakes every parked core at the latest arrival time,
